@@ -1,0 +1,532 @@
+// Package branchcorr's root benchmark harness: one benchmark per table
+// and figure of the paper (regenerating the exhibit end-to-end at a
+// bench-scale trace length) plus ablation benchmarks for the design
+// choices DESIGN.md calls out, and microbenchmarks of the predictors
+// themselves.
+//
+// Accuracy numbers are attached to every exhibit benchmark as custom
+// metrics (%acc-*), so `go test -bench=.` doubles as a quick-look
+// reproduction at reduced scale; cmd/experiments produces the full-scale
+// exhibits.
+package branchcorr
+
+import (
+	"fmt"
+	"testing"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/core"
+	"branchcorr/internal/experiments"
+	"branchcorr/internal/sim"
+	"branchcorr/internal/trace"
+	"branchcorr/internal/workloads"
+)
+
+// benchLength keeps each exhibit benchmark in the seconds range; the
+// full-scale runs live in cmd/experiments.
+const benchLength = 100_000
+
+// benchSuite caches one suite across benchmarks (trace generation and
+// oracle passes dominate otherwise).
+var benchSuite *experiments.Suite
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	if benchSuite == nil {
+		s, err := experiments.NewSuite(experiments.Config{
+			Length:      benchLength,
+			Fig5Windows: []int{8, 16, 24},
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSuite = s
+	}
+	return benchSuite
+}
+
+// benchTraces caches raw traces for the micro/ablation benchmarks.
+var benchTraces = map[string]*trace.Trace{}
+
+func benchTrace(b *testing.B, name string) *trace.Trace {
+	b.Helper()
+	if tr, ok := benchTraces[name]; ok {
+		return tr
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := w.Generate(benchLength)
+	benchTraces[name] = tr
+	return tr
+}
+
+// BenchmarkTable1TraceGeneration regenerates Table 1's inputs: all eight
+// workload traces.
+func BenchmarkTable1TraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, w := range workloads.All() {
+			total += w.Generate(benchLength).Len()
+		}
+		if total != 8*benchLength {
+			b.Fatalf("generated %d branches", total)
+		}
+	}
+	b.ReportMetric(float64(8*benchLength*b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+// BenchmarkFigure4SelectiveHistory regenerates Figure 4 (selective
+// histories vs gshare and IF-gshare).
+func BenchmarkFigure4SelectiveHistory(b *testing.B) {
+	s := suite(b)
+	var r *experiments.Figure4Result
+	for i := 0; i < b.N; i++ {
+		r = s.Figure4()
+	}
+	for _, row := range r.Rows {
+		if row.Benchmark == "gcc" {
+			b.ReportMetric(100*row.Sel[3], "%acc-sel3-gcc")
+			b.ReportMetric(100*row.IFGshare, "%acc-ifgshare-gcc")
+		}
+	}
+}
+
+// BenchmarkFigure5HistoryLength regenerates Figure 5 (accuracy vs history
+// window length).
+func BenchmarkFigure5HistoryLength(b *testing.B) {
+	s := suite(b)
+	var r *experiments.Figure5Result
+	for i := 0; i < b.N; i++ {
+		r = s.Figure5()
+	}
+	b.ReportMetric(100*r.Acc[0][len(r.Windows)-1], "%acc-longest-window")
+}
+
+// BenchmarkTable2GshareCorr regenerates Table 2 (gshare w/ and w/o the
+// strongest correlation).
+func BenchmarkTable2GshareCorr(b *testing.B) {
+	s := suite(b)
+	var r *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table2()
+	}
+	for _, row := range r.Rows {
+		if row.Benchmark == "gcc" {
+			b.ReportMetric(100*(row.GshareCorr-row.Gshare), "pp-gain-gcc")
+		}
+	}
+}
+
+// BenchmarkFigure6Classes regenerates Figure 6 (per-address
+// predictability class distribution).
+func BenchmarkFigure6Classes(b *testing.B) {
+	s := suite(b)
+	var r *experiments.Figure6Result
+	for i := 0; i < b.N; i++ {
+		r = s.Figure6()
+	}
+	avgLoop := 0.0
+	for _, row := range r.Rows {
+		avgLoop += row.Frac[core.ClassLoop]
+	}
+	b.ReportMetric(100*avgLoop/float64(len(r.Rows)), "%loop-class-avg")
+}
+
+// BenchmarkTable3PAsLoop regenerates Table 3 (PAs w/ and w/o the loop
+// enhancement).
+func BenchmarkTable3PAsLoop(b *testing.B) {
+	s := suite(b)
+	var r *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table3()
+	}
+	gain := 0.0
+	for _, row := range r.Rows {
+		gain += row.PAsLoop - row.PAs
+	}
+	b.ReportMetric(100*gain/float64(len(r.Rows)), "pp-gain-avg")
+}
+
+// BenchmarkFigure7BestPredictor regenerates Figure 7 (gshare vs PAs vs
+// ideal static distribution).
+func BenchmarkFigure7BestPredictor(b *testing.B) {
+	s := suite(b)
+	var r *experiments.SplitResult
+	for i := 0; i < b.N; i++ {
+		r = s.Figure7()
+	}
+	avg := 0.0
+	for _, row := range r.Rows {
+		avg += row.Frac[core.CatStatic]
+	}
+	b.ReportMetric(100*avg/float64(len(r.Rows)), "%static-best-avg")
+}
+
+// BenchmarkFigure8BestClass regenerates Figure 8 (predictability-class
+// distribution).
+func BenchmarkFigure8BestClass(b *testing.B) {
+	s := suite(b)
+	var r *experiments.SplitResult
+	for i := 0; i < b.N; i++ {
+		r = s.Figure8()
+	}
+	avg := 0.0
+	for _, row := range r.Rows {
+		avg += row.Frac[core.CatStatic]
+	}
+	b.ReportMetric(100*avg/float64(len(r.Rows)), "%static-best-avg")
+}
+
+// BenchmarkFigure9Percentile regenerates Figure 9 (gshare − PAs accuracy
+// percentile curves).
+func BenchmarkFigure9Percentile(b *testing.B) {
+	s := suite(b)
+	var r *experiments.Figure9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Diff[0][len(r.Diff[0])-1], "pp-gshare-best-tail")
+}
+
+// BenchmarkExtensionInPath regenerates the in-path correlation
+// decomposition (extension exhibit; section 3.1's two correlation
+// kinds).
+func BenchmarkExtensionInPath(b *testing.B) {
+	s := suite(b)
+	var r *experiments.InPathResult
+	for i := 0; i < b.N; i++ {
+		r = s.InPath()
+	}
+	gap := 0.0
+	for _, row := range r.Rows {
+		gap += row.Presence - row.Static
+	}
+	b.ReportMetric(100*gap/float64(len(r.Rows)), "pp-inpath-avg")
+}
+
+// BenchmarkExtensionOnlineSelective compares the practical online
+// correlation-selecting predictor against the oracle-selected selective
+// history and gshare — how much of the paper's oracle headroom a
+// profile-free implementation recovers.
+func BenchmarkExtensionOnlineSelective(b *testing.B) {
+	for _, name := range []string{"gcc", "compress"} {
+		tr := benchTrace(b, name)
+		b.Run("oracle-"+name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				sels := core.BuildSelective(tr, core.OracleConfig{WindowLen: 16})
+				acc = sim.RunOne(tr, core.NewSelective("sel3", 16, sels.BySize[3])).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+		b.Run("online-"+name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, core.NewOnlineSelective(3, 16, 256)).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+		b.Run("gshare-"+name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, bp.NewGshare(16)).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+// BenchmarkExtensionContextSwitch measures the multiprogramming effect:
+// gshare accuracy on each workload alone vs interleaved with another
+// workload at a context-switch quantum, and the same for IF-gshare
+// (whose per-branch tables rule out cross-program PHT aliasing but still
+// suffer global-history pollution at switch points).
+func BenchmarkExtensionContextSwitch(b *testing.B) {
+	gcc := benchTrace(b, "gcc")
+	perl := benchTrace(b, "perl")
+	mixed := trace.Interleave("gcc+perl", 5000, gcc, perl)
+	mixedFine := trace.Interleave("gcc+perl-fine", 250, gcc, perl)
+	accOn := func(p bp.Predictor, tr *trace.Trace, prefix trace.Addr) float64 {
+		res := sim.RunOne(tr, p)
+		correct, total := 0, 0
+		for pc, br := range res.PerBranch {
+			if pc&0xFF00_0000 == uint32HighBits(prefix) {
+				correct += br.Correct
+				total += br.Total
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	cases := []struct {
+		name string
+		run  func() float64
+	}{
+		{"gshare-gcc-alone", func() float64 { return sim.RunOne(gcc, bp.NewGshare(14)).Accuracy() }},
+		{"gshare-gcc-mixed-q5000", func() float64 { return accOn(bp.NewGshare(14), mixed, 0x0200_0000) }},
+		{"gshare-gcc-mixed-q250", func() float64 { return accOn(bp.NewGshare(14), mixedFine, 0x0200_0000) }},
+		{"ifgshare-gcc-alone", func() float64 { return sim.RunOne(gcc, bp.NewIFGshare(14)).Accuracy() }},
+		{"ifgshare-gcc-mixed-q250", func() float64 { return accOn(bp.NewIFGshare(14), mixedFine, 0x0200_0000) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = c.run()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+func uint32HighBits(a trace.Addr) trace.Addr { return a & 0xFF00_0000 }
+
+// BenchmarkAblationOracleTopK sweeps the oracle beam width (DESIGN.md §2
+// substitution): quality and cost of the top-K candidate beam.
+func BenchmarkAblationOracleTopK(b *testing.B) {
+	tr := benchTrace(b, "gcc")
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				sels := core.BuildSelective(tr, core.OracleConfig{WindowLen: 16, TopK: k})
+				r := sim.RunOne(tr, core.NewSelective("sel3", 16, sels.BySize[3]))
+				acc = r.Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc-sel3")
+		})
+	}
+}
+
+// BenchmarkAblationTagSchemes compares the two instance-tagging schemes
+// of section 3.2 (occurrence index vs backward-branch count) against
+// using both.
+func BenchmarkAblationTagSchemes(b *testing.B) {
+	tr := benchTrace(b, "compress")
+	cases := []struct {
+		name    string
+		schemes []core.Scheme
+	}{
+		{"occurrence-only", []core.Scheme{core.Occurrence}},
+		{"backward-only", []core.Scheme{core.BackwardCount}},
+		{"both", nil},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.OracleConfig{WindowLen: 16, Schemes: c.schemes}
+				sels := core.BuildSelective(tr, cfg)
+				r := sim.RunOne(tr, core.NewSelective("sel3", 16, sels.BySize[3]))
+				acc = r.Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc-sel3")
+		})
+	}
+}
+
+// BenchmarkAblationGshareHistory sweeps the gshare history length
+// (section 3.6.2's discussion: longer gshare histories mostly reduce
+// interference rather than add correlation).
+func BenchmarkAblationGshareHistory(b *testing.B) {
+	tr := benchTrace(b, "gcc")
+	for _, bits := range []uint{8, 12, 16, 20} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, bp.NewGshare(bits)).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+// BenchmarkAblationPathVsPattern compares Nair-style path history to
+// outcome (pattern) history at equal PHT size (sections 2.1/3.1: path
+// history captures in-path correlation directly).
+func BenchmarkAblationPathVsPattern(b *testing.B) {
+	tr := benchTrace(b, "go")
+	cases := []struct {
+		name string
+		mk   func() bp.Predictor
+	}{
+		{"pattern-gshare", func() bp.Predictor { return bp.NewGshare(14) }},
+		{"path-depth4", func() bp.Predictor { return bp.NewPath(4, 14) }},
+		{"path-depth8", func() bp.Predictor { return bp.NewPath(8, 14) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, c.mk()).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+// BenchmarkAblationLoopBTB compares the paper's perfect-BTB loop
+// predictor against finite set-associative BTBs (section 4.1.1's
+// idealization, quantified).
+func BenchmarkAblationLoopBTB(b *testing.B) {
+	tr := benchTrace(b, "ijpeg")
+	cases := []struct {
+		name string
+		mk   func() bp.Predictor
+	}{
+		{"perfect", func() bp.Predictor { return bp.NewLoop() }},
+		{"64set-4way", func() bp.Predictor { return bp.NewFiniteLoop(6, 4) }},
+		{"16set-2way", func() bp.Predictor { return bp.NewFiniteLoop(4, 2) }},
+		{"4set-1way", func() bp.Predictor { return bp.NewFiniteLoop(2, 1) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, c.mk()).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+// BenchmarkAblationStaticPHT compares a statically-filled (profiled)
+// gshare PHT against the adaptive 2-bit-counter PHT on the same
+// profiling/testing set — the Sechrest/Young observation the paper cites
+// in section 2.2.
+func BenchmarkAblationStaticPHT(b *testing.B) {
+	for _, name := range []string{"gcc", "m88ksim"} {
+		tr := benchTrace(b, name)
+		b.Run("profiled-"+name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, bp.NewProfiledGshare(tr, 14)).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+		b.Run("adaptive-"+name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, bp.NewGshare(14)).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+// BenchmarkAblationModern pits the paper-era predictors against the
+// designs the paper's insight led to (perceptron, TAGE) at comparable
+// storage, on the hardest workload.
+func BenchmarkAblationModern(b *testing.B) {
+	tr := benchTrace(b, "go")
+	cases := []struct {
+		name string
+		mk   func() bp.Predictor
+	}{
+		{"gshare14", func() bp.Predictor { return bp.NewGshare(14) }},
+		{"hybrid", func() bp.Predictor {
+			return bp.NewHybrid(bp.NewGshare(13), bp.NewPAs(10, 10, 4), 12)
+		}},
+		{"perceptron", func() bp.Predictor { return bp.NewPerceptron(24, 9) }},
+		{"tage", func() bp.Predictor { return bp.NewTAGEDefault() }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc = sim.RunOne(tr, c.mk()).Accuracy()
+			}
+			b.ReportMetric(100*acc, "%acc")
+		})
+	}
+}
+
+// BenchmarkPredictors measures raw predictor throughput
+// (predict+update per branch) on a gcc-like trace.
+func BenchmarkPredictors(b *testing.B) {
+	tr := benchTrace(b, "gcc")
+	recs := tr.Records()
+	cases := []struct {
+		name string
+		mk   func(st *trace.Stats) bp.Predictor
+	}{
+		{"bimodal", func(*trace.Stats) bp.Predictor { return bp.NewBimodal(14) }},
+		{"gshare", func(*trace.Stats) bp.Predictor { return bp.NewGshare(16) }},
+		{"gas", func(*trace.Stats) bp.Predictor { return bp.NewGAs(12, 4) }},
+		{"pas", func(*trace.Stats) bp.Predictor { return bp.NewPAs(12, 10, 6) }},
+		{"ifgshare", func(*trace.Stats) bp.Predictor { return bp.NewIFGshare(16) }},
+		{"ifpas", func(*trace.Stats) bp.Predictor { return bp.NewIFPAs(16) }},
+		{"path", func(*trace.Stats) bp.Predictor { return bp.NewPath(8, 14) }},
+		{"loop", func(*trace.Stats) bp.Predictor { return bp.NewLoop() }},
+		{"block", func(*trace.Stats) bp.Predictor { return bp.NewBlock() }},
+		{"hybrid", func(*trace.Stats) bp.Predictor {
+			return bp.NewHybrid(bp.NewGshare(16), bp.NewPAs(12, 10, 6), 12)
+		}},
+		{"ideal-static", func(st *trace.Stats) bp.Predictor { return bp.NewIdealStatic(st) }},
+		{"perceptron", func(*trace.Stats) bp.Predictor { return bp.NewPerceptron(24, 10) }},
+		{"tage", func(*trace.Stats) bp.Predictor { return bp.NewTAGEDefault() }},
+	}
+	stats := trace.Summarize(tr)
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			p := c.mk(stats)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := recs[i%len(recs)]
+				p.Predict(r)
+				p.Update(r)
+			}
+		})
+	}
+}
+
+// BenchmarkSelectivePredictor measures the selective predictor's
+// throughput (window resolution dominates).
+func BenchmarkSelectivePredictor(b *testing.B) {
+	tr := benchTrace(b, "gcc")
+	recs := tr.Records()
+	sels := core.BuildSelective(tr, core.OracleConfig{WindowLen: 16})
+	p := core.NewSelective("sel3", 16, sels.BySize[3])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		p.Predict(r)
+		p.Update(r)
+	}
+}
+
+// BenchmarkOraclePasses measures the oracle profiling cost per trace
+// branch.
+func BenchmarkOraclePasses(b *testing.B) {
+	tr := benchTrace(b, "gcc")
+	for i := 0; i < b.N; i++ {
+		core.BuildSelective(tr, core.OracleConfig{WindowLen: 16})
+	}
+	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+// BenchmarkTraceEncoding measures the binary trace codec.
+func BenchmarkTraceEncoding(b *testing.B) {
+	tr := benchTrace(b, "compress")
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink countingWriter
+			if err := tr.Write(&sink); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(sink))
+		}
+	})
+}
+
+type countingWriter int64
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,165 @@
+// Command bpsim runs branch predictors over a trace and reports overall
+// and per-branch accuracy.
+//
+// Usage:
+//
+//	bpsim -trace gcc.btr -p gshare:16 -p pas:12,10,6
+//	bpsim -workload go -n 500000 -p 'hybrid:(gshare:14),(pas:12,10,6),12' -per-branch
+//	bpsim -specs     # list example predictor specs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/sim"
+	"branchcorr/internal/trace"
+	"branchcorr/internal/workloads"
+)
+
+// specList collects repeated -p flags.
+type specList []string
+
+func (s *specList) String() string { return fmt.Sprint(*s) }
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var specs specList
+	var (
+		tracePath = flag.String("trace", "", "BTR1 trace file to simulate")
+		workload  = flag.String("workload", "", "generate this workload instead of reading a trace")
+		n         = flag.Int("n", 500_000, "trace length when using -workload")
+		perBranch = flag.Bool("per-branch", false, "print per-branch accuracies (sorted by misses)")
+		stream    = flag.Bool("stream", false, "stream the trace file record-by-record (constant memory; -trace only)")
+		top       = flag.Int("top", 20, "per-branch rows to print")
+		listSpecs = flag.Bool("specs", false, "list example predictor specs and exit")
+	)
+	flag.Var(&specs, "p", "predictor spec (repeatable; see -specs)")
+	flag.Parse()
+
+	if *listSpecs {
+		for _, s := range bp.KnownSpecs() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if len(specs) == 0 {
+		specs = specList{"gshare:16", "pas:12,10,6", "bimodal:14"}
+	}
+
+	var results []*sim.Result
+	header := ""
+	if *stream {
+		if *tracePath == "" {
+			fatal(fmt.Errorf("-stream requires -trace FILE"))
+		}
+		// Streaming mode cannot profile first, so ideal-static is
+		// unavailable; predictors parse with nil stats.
+		predictors := make([]bp.Predictor, len(specs))
+		for i, s := range specs {
+			p, err := bp.Parse(s, nil)
+			if err != nil {
+				fatal(err)
+			}
+			predictors[i] = p
+		}
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sc, err := trace.NewScanner(f)
+		if err != nil {
+			fatal(err)
+		}
+		results, err = sim.RunStream(sc, predictors...)
+		if err != nil {
+			fatal(err)
+		}
+		header = fmt.Sprintf("trace %s (streamed): %d dynamic branches", sc.Name(), results[0].Total)
+	} else {
+		tr, err := loadTrace(*tracePath, *workload, *n)
+		if err != nil {
+			fatal(err)
+		}
+		stats := trace.Summarize(tr)
+		predictors := make([]bp.Predictor, len(specs))
+		for i, s := range specs {
+			p, err := bp.Parse(s, stats)
+			if err != nil {
+				fatal(err)
+			}
+			predictors[i] = p
+		}
+		results = sim.Run(tr, predictors...)
+		header = fmt.Sprintf("trace %s: %d dynamic branches, %d static sites",
+			tr.Name(), stats.Dynamic, stats.Static)
+	}
+	fmt.Println(header)
+	for _, r := range results {
+		fmt.Printf("  %-40s %8.4f%%  (%d mispredictions)\n",
+			r.Predictor, 100*r.Accuracy(), r.Mispredictions())
+	}
+	if *perBranch {
+		for _, r := range results {
+			printPerBranch(r, *top)
+		}
+	}
+}
+
+func loadTrace(path, workload string, n int) (*trace.Trace, error) {
+	switch {
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	case workload != "":
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		return w.Generate(n), nil
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -workload NAME")
+	}
+}
+
+func printPerBranch(r *sim.Result, top int) {
+	fmt.Printf("per-branch, %s (top %d by mispredictions):\n", r.Predictor, top)
+	type row struct {
+		pc     trace.Addr
+		acc    sim.BranchAcc
+		misses int
+	}
+	rows := make([]row, 0, len(r.PerBranch))
+	for pc, b := range r.PerBranch {
+		rows = append(rows, row{pc, *b, b.Total - b.Correct})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].misses != rows[j].misses {
+			return rows[i].misses > rows[j].misses
+		}
+		return rows[i].pc < rows[j].pc
+	})
+	if top > len(rows) {
+		top = len(rows)
+	}
+	for _, rw := range rows[:top] {
+		fmt.Printf("  0x%08x  %8d execs  %7.3f%%  %d misses\n",
+			uint32(rw.pc), rw.acc.Total, 100*rw.acc.Accuracy(), rw.misses)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpsim:", err)
+	os.Exit(1)
+}

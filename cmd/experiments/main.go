@@ -1,0 +1,150 @@
+// Command experiments regenerates every table and figure of the paper
+// over the synthetic workload suite and prints them to stdout.
+//
+// Usage:
+//
+//	experiments                         # everything, 1M branches each
+//	experiments -n 200000 -exhibits fig4,table2
+//	experiments -workloads gcc,go -n 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"branchcorr/internal/experiments"
+)
+
+var exhibitOrder = []string{
+	"table1", "fig4", "fig5", "table2", "fig6", "table3", "fig7", "fig8", "fig9",
+	"inpath",   // extension: in-path vs direction correlation decomposition
+	"ceiling",  // extension: achieved accuracy vs entropy ceilings
+	"hybrids",  // extension: hybrid organizations vs ideal per-branch choice
+	"training", // extension: cold-start vs steady-state accuracy
+}
+
+func main() {
+	var (
+		n        = flag.Int("n", 1_000_000, "dynamic branches per workload trace")
+		wls      = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		exhibits = flag.String("exhibits", "all", "comma-separated exhibits: "+strings.Join(exhibitOrder, ","))
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+		asJSON   = flag.Bool("json", false, "emit one JSON report instead of rendered text")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Length: *n}
+	if *wls != "" {
+		cfg.Workloads = strings.Split(*wls, ",")
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), fmt.Sprintf(format, args...))
+		}
+	}
+	suite, err := experiments.NewSuite(cfg, logf)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := map[string]bool{}
+	if *exhibits == "all" {
+		for _, e := range exhibitOrder {
+			want[e] = true
+		}
+	} else {
+		for _, e := range strings.Split(*exhibits, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+	// fig9 needs gcc and perl unless overridden alongside -workloads.
+	if want["fig9"] && *wls != "" {
+		cfg := suite.Config()
+		have := map[string]bool{}
+		for _, name := range suite.Names() {
+			have[name] = true
+		}
+		ok := true
+		for _, b := range cfg.Fig9Benchmarks {
+			if !have[b] {
+				ok = false
+			}
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "experiments: skipping fig9 (needs gcc and perl in -workloads)")
+			want["fig9"] = false
+		}
+	}
+
+	report := suite.NewReport()
+	for _, e := range exhibitOrder {
+		if !want[e] {
+			continue
+		}
+		start := time.Now()
+		var out string
+		switch e {
+		case "table1":
+			r := suite.Table1()
+			report.Table1, out = r, r.Render()
+		case "fig4":
+			r := suite.Figure4()
+			report.Figure4, out = r, r.Render()
+		case "fig5":
+			r := suite.Figure5()
+			report.Figure5, out = r, r.Render()
+		case "table2":
+			r := suite.Table2()
+			report.Table2, out = r, r.Render()
+		case "fig6":
+			r := suite.Figure6()
+			report.Figure6, out = r, r.Render()
+		case "table3":
+			r := suite.Table3()
+			report.Table3, out = r, r.Render()
+		case "fig7":
+			r := suite.Figure7()
+			report.Figure7, out = r, r.Render()
+		case "fig8":
+			r := suite.Figure8()
+			report.Figure8, out = r, r.Render()
+		case "fig9":
+			r, err := suite.Figure9()
+			if err != nil {
+				fatal(err)
+			}
+			report.Figure9, out = r, r.Render()
+		case "inpath":
+			r := suite.InPath()
+			report.InPath, out = r, r.Render()
+		case "ceiling":
+			r := suite.Ceiling()
+			report.Ceiling, out = r, r.Render()
+		case "hybrids":
+			r := suite.Hybrids()
+			report.Hybrids, out = r, r.Render()
+		case "training":
+			r := suite.Training()
+			report.Training, out = r, r.Render()
+		default:
+			fatal(fmt.Errorf("unknown exhibit %q (have %s)", e, strings.Join(exhibitOrder, ",")))
+		}
+		logf("%s done in %.1fs", e, time.Since(start).Seconds())
+		if !*asJSON {
+			fmt.Println(out)
+		}
+	}
+	if *asJSON {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

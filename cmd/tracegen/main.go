@@ -1,0 +1,87 @@
+// Command tracegen generates branch traces from the synthetic SPECint95
+// stand-in workloads and writes them in the BTR1 binary format.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload gcc -n 2000000 -o gcc.btr
+//	tracegen -all -n 1000000 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"branchcorr/internal/trace"
+	"branchcorr/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload = flag.String("workload", "", "workload to generate (see -list)")
+		all      = flag.Bool("all", false, "generate every workload")
+		n        = flag.Int("n", workloads.DefaultLength, "dynamic conditional branches per trace")
+		out      = flag.String("o", "", "output file (default <workload>.btr)")
+		dir      = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-9s %s\n", w.Name(), w.Description())
+		}
+		return
+	}
+	switch {
+	case *all:
+		for _, w := range workloads.All() {
+			path := filepath.Join(*dir, w.Name()+".btr")
+			if err := generate(w, *n, path); err != nil {
+				fatal(err)
+			}
+		}
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" {
+			path = w.Name() + ".btr"
+		}
+		if err := generate(w, *n, path); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -workload NAME, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(w workloads.Workload, n int, path string) error {
+	tr := w.Generate(n)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.Write(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st := trace.Summarize(tr)
+	fmt.Printf("%s: %d branches, %d static sites, %.1f%% taken -> %s\n",
+		tr.Name(), st.Dynamic, st.Static, 100*st.TakenRate(), path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Custom predictor: implement a new predictor against the bp.Predictor
+// interface and evaluate it with the study's infrastructure. The example
+// implements an *agree* predictor (Sprangle et al., 1997): the PHT stores
+// whether the branch will AGREE with a per-branch bias bit rather than
+// its absolute direction, converting destructive PHT interference into
+// constructive interference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/sim"
+	"branchcorr/internal/trace"
+	"branchcorr/internal/workloads"
+)
+
+// Agree is a gshare-indexed agree predictor. The bias bit for each branch
+// is set by its first observed outcome; the shared PHT then predicts
+// agreement with that bias. Two branches aliasing to the same counter
+// typically both "agree" with their own biases, so aliasing no longer
+// flips predictions.
+type Agree struct {
+	pht      []bp.Counter2
+	bias     map[trace.Addr]bool
+	history  uint32
+	mask     uint32
+	histBits uint
+}
+
+// NewAgree returns an agree predictor with historyBits of global history.
+func NewAgree(historyBits uint) *Agree {
+	return &Agree{
+		pht:      make([]bp.Counter2, 1<<historyBits),
+		bias:     make(map[trace.Addr]bool),
+		mask:     1<<historyBits - 1,
+		histBits: historyBits,
+	}
+}
+
+// Name implements bp.Predictor.
+func (p *Agree) Name() string { return fmt.Sprintf("agree(%d)", p.histBits) }
+
+func (p *Agree) index(pc trace.Addr) uint32 {
+	return ((uint32(pc) >> 2) ^ p.history) & p.mask
+}
+
+func (p *Agree) biasFor(r trace.Record) bool {
+	b, ok := p.bias[r.PC]
+	if !ok {
+		// First encounter: use the static BTFNT heuristic as the bias
+		// until the first outcome fixes it.
+		return r.Backward
+	}
+	return b
+}
+
+// Predict implements bp.Predictor.
+func (p *Agree) Predict(r trace.Record) bool {
+	agree := p.pht[p.index(r.PC)].Taken()
+	return agree == p.biasFor(r)
+}
+
+// Update implements bp.Predictor.
+func (p *Agree) Update(r trace.Record) {
+	if _, ok := p.bias[r.PC]; !ok {
+		p.bias[r.PC] = r.Taken // first outcome sets the bias bit
+	}
+	i := p.index(r.PC)
+	p.pht[i] = p.pht[i].Next(r.Taken == p.biasFor(r))
+	p.history = (p.history << 1) & p.mask
+	if r.Taken {
+		p.history |= 1
+	}
+}
+
+var _ bp.Predictor = (*Agree)(nil)
+
+func main() {
+	fmt.Println("agree vs gshare at small PHT sizes (interference-heavy regime):")
+	fmt.Printf("%-10s %8s %12s %12s %12s\n", "workload", "PHT", "gshare", "agree", "IF-gshare")
+	for _, name := range []string{"gcc", "go", "vortex"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := w.Generate(300_000)
+		for _, bits := range []uint{8, 10, 12} {
+			rs := sim.Run(tr, bp.NewGshare(bits), NewAgree(bits), bp.NewIFGshare(bits))
+			fmt.Printf("%-10s %8d %11.3f%% %11.3f%% %11.3f%%\n",
+				name, 1<<bits, 100*rs[0].Accuracy(), 100*rs[1].Accuracy(), 100*rs[2].Accuracy())
+		}
+	}
+	fmt.Println("\nagree tracks IF-gshare more closely than gshare does when the PHT is")
+	fmt.Println("small, because aliased branches mostly agree with their own bias bits.")
+}

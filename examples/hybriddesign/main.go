@@ -1,0 +1,65 @@
+// Hybrid design: apply the paper's section 4/5 analysis to justify a
+// predictor design. The program classifies a workload's branches by
+// per-address predictability, shows how many branches prefer global vs
+// per-address prediction, and then verifies the conclusion by comparing a
+// McFarling hybrid (with and without a loop-predictor side) against its
+// components.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/core"
+	"branchcorr/internal/sim"
+	"branchcorr/internal/trace"
+	"branchcorr/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("ijpeg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := w.Generate(300_000)
+	stats := trace.Summarize(tr)
+
+	// Step 1: the paper's per-address predictability classes (§4.1).
+	cl := core.ClassifyPerAddress(tr, core.ClassifyConfig{})
+	fmt.Println("per-address predictability classes (dynamic-weighted):")
+	for c := core.ClassStatic; c <= core.ClassNonRepeating; c++ {
+		fmt.Printf("  %-22s %6.2f%%\n", c, 100*cl.Frac(c))
+	}
+	fmt.Printf("  (%.0f%% of the unclassified branches are >99%% biased)\n\n",
+		100*cl.StaticHighBiasFrac())
+
+	// Step 2: do branches prefer global or per-address prediction (§5)?
+	rs := sim.Run(tr, bp.NewGshare(14), bp.NewPAs(12, 10, 6))
+	gshare, pas := rs[0], rs[1]
+	split := core.SplitBest(stats, sim.RunOne(tr, bp.NewIdealStatic(stats)),
+		func(pc trace.Addr) int { return gshare.Branch(pc).Correct },
+		func(pc trace.Addr) int { return pas.Branch(pc).Correct },
+		0.99)
+	fmt.Println("best real predictor per branch (dynamic-weighted):")
+	for c := core.CatStatic; c <= core.CatPerAddress; c++ {
+		fmt.Printf("  %-22s %6.2f%%\n", c, 100*split.Frac(c))
+	}
+
+	// Step 3: both categories are populated, so combine them — and since
+	// the loop class is large here, give the per-address side a loop
+	// predictor too (the Table 3 idea as a real predictor).
+	fmt.Println("\npredictor comparison:")
+	for _, p := range []bp.Predictor{
+		bp.NewGshare(14),
+		bp.NewPAs(12, 10, 6),
+		bp.NewLoop(),
+		bp.NewHybrid(bp.NewGshare(14), bp.NewPAs(12, 10, 6), 12),
+		bp.NewHybrid(bp.NewGshare(14), bp.NewHybrid(bp.NewPAs(12, 10, 6), bp.NewLoop(), 12), 12),
+	} {
+		r := sim.RunOne(tr, p)
+		fmt.Printf("  %-55s %8.4f%%\n", r.Predictor, 100*r.Accuracy())
+	}
+	fmt.Println("\nthe two-level hybrid with a loop side exploits exactly the loop-class")
+	fmt.Println("branches the classification surfaced — the paper's Table 3 conclusion.")
+}

@@ -1,0 +1,3 @@
+module branchcorr
+
+go 1.22

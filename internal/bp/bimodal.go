@@ -1,0 +1,54 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// Bimodal is Smith's 1981 predictor: a direct-mapped table of 2-bit
+// saturating counters indexed by the low bits of the branch address.
+// Distinct branches mapping to the same counter interfere.
+type Bimodal struct {
+	table []Counter2
+	mask  uint32
+	bits  uint
+}
+
+// NewBimodal returns a bimodal predictor with 2^tableBits counters.
+func NewBimodal(tableBits uint) *Bimodal {
+	if tableBits == 0 || tableBits > 30 {
+		panic(fmt.Sprintf("bp: bimodal table bits %d out of range [1,30]", tableBits))
+	}
+	return &Bimodal{
+		table: make([]Counter2, 1<<tableBits),
+		mask:  1<<tableBits - 1,
+		bits:  tableBits,
+	}
+}
+
+// Name implements Predictor.
+func (p *Bimodal) Name() string { return fmt.Sprintf("bimodal(%d)", p.bits) }
+
+func (p *Bimodal) index(pc trace.Addr) uint32 {
+	// Drop the 2 alignment bits so adjacent branch sites use adjacent
+	// counters.
+	return (uint32(pc) >> 2) & p.mask
+}
+
+// Predict implements Predictor.
+func (p *Bimodal) Predict(r trace.Record) bool {
+	return p.table[p.index(r.PC)].Taken()
+}
+
+// Update implements Predictor.
+func (p *Bimodal) Update(r trace.Record) {
+	p.table[p.index(r.PC)].update(r.Taken)
+}
+
+// Reset implements Resettable.
+func (p *Bimodal) Reset() {
+	for i := range p.table {
+		p.table[i] = 0
+	}
+}

@@ -1,0 +1,97 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// BiMode is the bi-mode predictor (Lee, Chen & Mudge, MICRO 1997), one of
+// the interference-mitigation designs motivated by the PHT-interference
+// studies the paper cites in section 2.2. Two gshare-indexed direction
+// PHTs hold mostly-taken and mostly-not-taken branches respectively; a
+// bimodal choice PHT indexed by address alone picks which direction PHT
+// to believe. Branches of opposite bias that alias in the shared tables
+// land in different direction PHTs, converting destructive interference
+// into neutral interference.
+type BiMode struct {
+	direction  [2][]Counter2 // [0] not-taken bank, [1] taken bank
+	choice     []Counter2
+	history    uint32
+	dirMask    uint32
+	choiceMask uint32
+	histBits   uint
+	choiceBits uint
+}
+
+// NewBiMode returns a bi-mode predictor with 2^historyBits-entry
+// direction banks and a 2^choiceBits-entry choice PHT.
+func NewBiMode(historyBits, choiceBits uint) *BiMode {
+	if historyBits == 0 || historyBits > 26 {
+		panic(fmt.Sprintf("bp: bi-mode history bits %d out of range [1,26]", historyBits))
+	}
+	if choiceBits == 0 || choiceBits > 26 {
+		panic(fmt.Sprintf("bp: bi-mode choice bits %d out of range [1,26]", choiceBits))
+	}
+	p := &BiMode{
+		choice:     make([]Counter2, 1<<choiceBits),
+		dirMask:    1<<historyBits - 1,
+		choiceMask: 1<<choiceBits - 1,
+		histBits:   historyBits,
+		choiceBits: choiceBits,
+	}
+	p.direction[0] = make([]Counter2, 1<<historyBits)
+	p.direction[1] = make([]Counter2, 1<<historyBits)
+	for i := range p.direction[1] {
+		p.direction[1][i] = WeaklyTaken // taken bank starts weakly taken
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *BiMode) Name() string {
+	return fmt.Sprintf("bimode(%d,%d)", p.histBits, p.choiceBits)
+}
+
+func (p *BiMode) dirIndex(pc trace.Addr) uint32 {
+	return ((uint32(pc) >> 2) ^ p.history) & p.dirMask
+}
+
+func (p *BiMode) choiceIndex(pc trace.Addr) uint32 {
+	return (uint32(pc) >> 2) & p.choiceMask
+}
+
+// Predict implements Predictor.
+func (p *BiMode) Predict(r trace.Record) bool {
+	bank := 0
+	if p.choice[p.choiceIndex(r.PC)].Taken() {
+		bank = 1
+	}
+	return p.direction[bank][p.dirIndex(r.PC)].Taken()
+}
+
+// Update implements Predictor. The selected direction bank always
+// trains; the choice PHT trains toward the outcome unless the selected
+// bank already predicted correctly against the choice's bias (the
+// partial-update rule of the original design).
+func (p *BiMode) Update(r trace.Record) {
+	ci := p.choiceIndex(r.PC)
+	bank := 0
+	if p.choice[ci].Taken() {
+		bank = 1
+	}
+	di := p.dirIndex(r.PC)
+	pred := p.direction[bank][di].Taken()
+	// Partial update: don't retrain the choice when the chosen bank was
+	// right although the choice's direction disagrees with the outcome.
+	if !(pred == r.Taken && p.choice[ci].Taken() != r.Taken) {
+		p.choice[ci] = p.choice[ci].Next(r.Taken)
+	}
+	p.direction[bank][di] = p.direction[bank][di].Next(r.Taken)
+	p.history = (p.history << 1) & p.dirMask
+	if r.Taken {
+		p.history |= 1
+	}
+}
+
+var _ Predictor = (*BiMode)(nil)

@@ -1,0 +1,73 @@
+package bp
+
+import (
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+func TestFiniteLoopMatchesPerfectWhenFitting(t *testing.T) {
+	// One loop branch, huge table: finite must behave exactly like the
+	// perfect-BTB loop predictor.
+	recs := loopTrace(0x40, 9, 200)
+	perfect := NewLoop()
+	finite := NewFiniteLoop(8, 4)
+	for _, r := range recs {
+		pp := perfect.Predict(r)
+		fp := finite.Predict(r)
+		if pp != fp {
+			t.Fatalf("finite diverges from perfect on %v", r)
+		}
+		perfect.Update(r)
+		finite.Update(r)
+	}
+}
+
+func TestFiniteLoopCapacityLoss(t *testing.T) {
+	// Many loop branches thrashing a tiny 1-set/1-way table: the finite
+	// predictor must lose accuracy relative to the perfect one.
+	var recs []trace.Record
+	for iter := 0; iter < 300; iter++ {
+		for b := 0; b < 8; b++ {
+			pc := trace.Addr(0x1000 + b*1024) // all alias to set 0 at 1 set
+			for j := 0; j < 5; j++ {
+				recs = append(recs, trace.Record{PC: pc, Taken: true, Backward: true})
+			}
+			recs = append(recs, trace.Record{PC: pc, Taken: false, Backward: true})
+		}
+	}
+	perfect := run(NewLoop(), recs)
+	finite := run(NewFiniteLoop(1, 1), recs)
+	if finite >= perfect {
+		t.Errorf("finite loop (%d) should lose to perfect (%d) under thrashing", finite, perfect)
+	}
+	// With enough ways the loss disappears.
+	big := run(NewFiniteLoop(1, 8), recs)
+	if big < perfect {
+		t.Errorf("8-way finite loop (%d) should match perfect (%d)", big, perfect)
+	}
+}
+
+func TestFiniteLoopName(t *testing.T) {
+	if NewFiniteLoop(6, 2).Name() != "finite-loop(6,2)" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFiniteLoopPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFiniteLoop(0, 2) },
+		func() { NewFiniteLoop(17, 2) },
+		func() { NewFiniteLoop(4, 0) },
+		func() { NewFiniteLoop(4, 17) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,154 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// MaxFixedPeriod is the longest fixed-length pattern period the study
+// considers, matching the paper's 32 predictor variants (k in [1,32]).
+const MaxFixedPeriod = 32
+
+// outcomeRing is a per-branch ring buffer of the most recent outcomes.
+type outcomeRing struct {
+	bits uint64 // newest outcome in bit 0
+	n    int    // outcomes recorded, saturating at 64
+}
+
+func (o *outcomeRing) push(taken bool) {
+	o.bits <<= 1
+	if taken {
+		o.bits |= 1
+	}
+	if o.n < 64 {
+		o.n++
+	}
+}
+
+// kAgo returns the outcome k occurrences ago (k >= 1) and whether that
+// much history exists.
+func (o *outcomeRing) kAgo(k int) (bool, bool) {
+	if k < 1 || k > o.n || k > 64 {
+		return false, false
+	}
+	return o.bits>>(k-1)&1 == 1, true
+}
+
+// FixedK is a fixed-length-pattern class predictor (section 4.1.2): a
+// branch repeating any pattern of period k has the same outcome it had k
+// occurrences ago, so the predictor simply replays the outcome from k ago.
+// Until k outcomes of a branch have been seen it predicts the branch's
+// most recent outcome (or taken if none). State is per-branch and
+// unbounded (perfect BTB).
+type FixedK struct {
+	k     int
+	rings map[trace.Addr]*outcomeRing
+}
+
+// NewFixedK returns the period-k fixed-pattern predictor, k in
+// [1, MaxFixedPeriod].
+func NewFixedK(k int) *FixedK {
+	if k < 1 || k > MaxFixedPeriod {
+		panic(fmt.Sprintf("bp: fixed pattern period %d out of range [1,%d]", k, MaxFixedPeriod))
+	}
+	return &FixedK{k: k, rings: make(map[trace.Addr]*outcomeRing)}
+}
+
+// Name implements Predictor.
+func (p *FixedK) Name() string { return fmt.Sprintf("fixed-k(%d)", p.k) }
+
+// Predict implements Predictor.
+func (p *FixedK) Predict(r trace.Record) bool {
+	ring, ok := p.rings[r.PC]
+	if !ok || ring.n == 0 {
+		return true
+	}
+	if out, ok := ring.kAgo(p.k); ok {
+		return out
+	}
+	last, _ := ring.kAgo(1)
+	return last
+}
+
+// Update implements Predictor.
+func (p *FixedK) Update(r trace.Record) {
+	ring, ok := p.rings[r.PC]
+	if !ok {
+		ring = &outcomeRing{}
+		p.rings[r.PC] = ring
+	}
+	ring.push(r.Taken)
+}
+
+var _ Predictor = (*FixedK)(nil)
+
+// FixedKSweep evaluates all MaxFixedPeriod fixed-k predictors over a trace
+// simultaneously and records per-branch correct counts for every k. The
+// paper uses the best of the 32 variants per branch as the fixed-length
+// pattern prediction accuracy; BestPerBranch extracts exactly that.
+type FixedKSweep struct {
+	rings   map[trace.Addr]*outcomeRing
+	correct map[trace.Addr]*[MaxFixedPeriod]int
+	total   map[trace.Addr]int
+}
+
+// NewFixedKSweep returns an empty sweep evaluator.
+func NewFixedKSweep() *FixedKSweep {
+	return &FixedKSweep{
+		rings:   make(map[trace.Addr]*outcomeRing),
+		correct: make(map[trace.Addr]*[MaxFixedPeriod]int),
+		total:   make(map[trace.Addr]int),
+	}
+}
+
+// Observe feeds one branch outcome: it scores what each of the 32
+// predictors would have predicted, then records the outcome.
+func (s *FixedKSweep) Observe(r trace.Record) {
+	ring, ok := s.rings[r.PC]
+	if !ok {
+		ring = &outcomeRing{}
+		s.rings[r.PC] = ring
+		s.correct[r.PC] = &[MaxFixedPeriod]int{}
+	}
+	corr := s.correct[r.PC]
+	s.total[r.PC]++
+	last := true
+	if ring.n > 0 {
+		last, _ = ring.kAgo(1)
+	}
+	for k := 1; k <= MaxFixedPeriod; k++ {
+		pred := last
+		if out, ok := ring.kAgo(k); ok {
+			pred = out
+		}
+		if pred == r.Taken {
+			corr[k-1]++
+		}
+	}
+	ring.push(r.Taken)
+}
+
+// BestPerBranch returns, for each branch, the highest correct-prediction
+// count over all periods k (and the winning k, 1-based).
+func (s *FixedKSweep) BestPerBranch() map[trace.Addr]BestFixed {
+	out := make(map[trace.Addr]BestFixed, len(s.correct))
+	for pc, corr := range s.correct {
+		best, bestK := -1, 0
+		for k := 0; k < MaxFixedPeriod; k++ {
+			if corr[k] > best {
+				best = corr[k]
+				bestK = k + 1
+			}
+		}
+		out[pc] = BestFixed{Correct: best, K: bestK, Total: s.total[pc]}
+	}
+	return out
+}
+
+// BestFixed is the per-branch result of a FixedKSweep.
+type BestFixed struct {
+	Correct int // correct predictions of the best period
+	K       int // the best period (1-based)
+	Total   int // dynamic executions of the branch
+}

@@ -1,0 +1,99 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// GSkew is the enhanced skewed predictor e-gskew (Michaud, Seznec &
+// Uhlig / Seznec's skewed-associativity work the paper cites as [7]):
+// three PHT banks indexed by three *different* hash functions of
+// (address, history) vote by majority. Two branches colliding in one
+// bank almost never collide in the other two, so the majority vote
+// cancels most interference. Bank 0 is indexed by address alone (a
+// bimodal bank), as in e-gskew.
+type GSkew struct {
+	banks    [3][]Counter2
+	history  uint32
+	mask     uint32
+	histBits uint
+}
+
+// NewGSkew returns an e-gskew predictor with 2^bankBits counters per
+// bank.
+func NewGSkew(bankBits uint) *GSkew {
+	if bankBits == 0 || bankBits > 26 {
+		panic(fmt.Sprintf("bp: gskew bank bits %d out of range [1,26]", bankBits))
+	}
+	p := &GSkew{mask: 1<<bankBits - 1, histBits: bankBits}
+	for b := range p.banks {
+		p.banks[b] = make([]Counter2, 1<<bankBits)
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *GSkew) Name() string { return fmt.Sprintf("gskew(%d)", p.histBits) }
+
+// rotl rotates v left by k bits.
+func rotl(v uint32, k uint) uint32 {
+	k %= 32
+	if k == 0 {
+		return v
+	}
+	return v<<k | v>>(32-k)
+}
+
+// The three skewing functions. H and its inverse mix the bits so the
+// banks decorrelate; simple rotate-XOR mixes suffice for simulation.
+func (p *GSkew) indexes(pc trace.Addr) [3]uint32 {
+	a := uint32(pc) >> 2
+	h := p.history
+	return [3]uint32{
+		a & p.mask, // bimodal bank
+		(a ^ h) & p.mask,
+		(a ^ rotl(h, p.histBits/2) ^ rotl(a, 7)) & p.mask,
+	}
+}
+
+// Predict implements Predictor: majority vote of the three banks.
+func (p *GSkew) Predict(r trace.Record) bool {
+	idx := p.indexes(r.PC)
+	votes := 0
+	for b := range p.banks {
+		if p.banks[b][idx[b]].Taken() {
+			votes++
+		}
+	}
+	return votes >= 2
+}
+
+// Update implements Predictor with e-gskew's partial update: on a
+// correct prediction only the agreeing banks train (the dissenter is
+// left alone — it may be serving another branch); on a misprediction all
+// banks train.
+func (p *GSkew) Update(r trace.Record) {
+	idx := p.indexes(r.PC)
+	votes := 0
+	var agree [3]bool
+	for b := range p.banks {
+		agree[b] = p.banks[b][idx[b]].Taken() == r.Taken
+		if p.banks[b][idx[b]].Taken() {
+			votes++
+		}
+	}
+	correct := (votes >= 2) == r.Taken
+	for b := range p.banks {
+		if correct && !agree[b] {
+			continue
+		}
+		p.banks[b][idx[b]] = p.banks[b][idx[b]].Next(r.Taken)
+	}
+	p.history = (p.history << 1) & p.mask
+	if r.Taken {
+		p.history |= 1
+	}
+}
+
+var _ Predictor = (*GSkew)(nil)

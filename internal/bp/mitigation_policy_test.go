@@ -1,0 +1,146 @@
+package bp
+
+import (
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+// The bi-mode design point: two opposite-bias branches aliasing in the
+// direction PHTs must not destroy each other, because the choice PHT
+// routes them to different banks.
+func TestBiModeOppositeBiasAliasing(t *testing.T) {
+	// PCs chosen to alias in an 6-bit direction bank under XOR indexing
+	// when histories collide, and in the choice PHT they stay distinct
+	// (choice is address-indexed with enough bits).
+	biased := func(p Predictor) (int, int) {
+		missT, missN := 0, 0
+		for i := 0; i < 8000; i++ {
+			rt := trace.Record{PC: 0x1000, Taken: true}
+			rn := trace.Record{PC: 0x2000, Taken: false}
+			if i > 500 {
+				if p.Predict(rt) != rt.Taken {
+					missT++
+				}
+			}
+			p.Update(rt)
+			if i > 500 {
+				if p.Predict(rn) != rn.Taken {
+					missN++
+				}
+			}
+			p.Update(rn)
+		}
+		return missT, missN
+	}
+	bmT, bmN := biased(NewBiMode(6, 12))
+	if bmT+bmN > 40 {
+		t.Errorf("bi-mode misses on opposite-bias aliasing: %d+%d", bmT, bmN)
+	}
+}
+
+// e-gskew's partial update: after a correct majority prediction, the
+// dissenting bank must be left alone (it may serve another branch).
+func TestGSkewPartialUpdate(t *testing.T) {
+	p := NewGSkew(8)
+	r := rec(0x40, true)
+	idx := p.indexes(r.PC)
+	// Majority taken with bank 2 dissenting.
+	p.banks[0][idx[0]] = StronglyTaken
+	p.banks[1][idx[1]] = StronglyTaken
+	p.banks[2][idx[2]] = StronglyNotTaken
+	if !p.Predict(r) {
+		t.Fatal("majority should predict taken")
+	}
+	p.Update(r) // correct prediction; dissenter (bank 2) must not train
+	// Update shifted the history, so recompute state at the OLD indexes.
+	if got := p.banks[2][idx[2]]; got != StronglyNotTaken {
+		t.Errorf("dissenting bank trained on a correct prediction: %d", got)
+	}
+	if p.banks[0][idx[0]] != StronglyTaken || p.banks[1][idx[1]] != StronglyTaken {
+		t.Error("agreeing banks should stay trained")
+	}
+
+	// Misprediction: all banks train. Rebuild the scenario at the new
+	// history's indexes.
+	idx = p.indexes(r.PC)
+	p.banks[0][idx[0]] = StronglyNotTaken
+	p.banks[1][idx[1]] = StronglyNotTaken
+	p.banks[2][idx[2]] = StronglyNotTaken
+	if p.Predict(r) {
+		t.Fatal("setup: majority should predict not-taken")
+	}
+	p.Update(r) // outcome taken -> mispredict -> every bank moves up
+	for b := 0; b < 3; b++ {
+		if p.banks[b][idx[b]] != WeaklyNotTaken {
+			t.Errorf("bank %d did not train on misprediction: %d", b, p.banks[b][idx[b]])
+		}
+	}
+}
+
+// YAGS only allocates exception entries when the bias mispredicts, and a
+// tag mismatch must not let another branch's exception override.
+func TestYAGSAllocationPolicy(t *testing.T) {
+	p := NewYAGS(10, 8)
+	r := rec(0x40, true)
+	// Train the bias taken; no exception should be allocated while the
+	// bias is correct.
+	for i := 0; i < 50; i++ {
+		p.Update(r)
+	}
+	bank := 0 // biased-taken bank
+	allocated := 0
+	for i := range p.cacheTag[bank] {
+		if p.cacheTag[bank][i] != 0xFF {
+			allocated++
+		}
+	}
+	if allocated != 0 {
+		t.Errorf("%d exception entries allocated while bias was always correct", allocated)
+	}
+	// Now the branch flips against its bias: an exception entry should
+	// appear and the prediction should follow it.
+	flip := rec(0x40, false)
+	p.Update(flip)
+	p.Update(flip)
+	if p.Predict(flip) {
+		t.Error("exception cache did not learn the against-bias outcome")
+	}
+}
+
+// Tournament's chooser trains only on component disagreement.
+func TestTournamentChooserTrainsOnDisagreement(t *testing.T) {
+	p := NewTournament(8, 8, 8, 6)
+	r := rec(0x40, true)
+	before := make([]Counter2, len(p.chooser))
+	copy(before, p.chooser)
+	// Fresh components both predict not-taken (counters at 0): they
+	// agree, so the chooser must not move.
+	p.Update(r)
+	for i := range p.chooser {
+		if p.chooser[i] != before[i] {
+			t.Fatalf("chooser trained while components agreed")
+		}
+	}
+}
+
+// Perceptron threshold: once trained well past the threshold, correct
+// high-confidence predictions stop updating weights (static weights).
+func TestPerceptronThresholdStopsTraining(t *testing.T) {
+	p := NewPerceptron(8, 6)
+	r := rec(0x40, true)
+	for i := 0; i < 300; i++ {
+		p.Predict(r)
+		p.Update(r)
+	}
+	w := p.weights[p.index(r.PC)]
+	snapshot := make([]int8, len(w))
+	copy(snapshot, w)
+	p.Predict(r)
+	p.Update(r)
+	for i := range w {
+		if w[i] != snapshot[i] {
+			t.Fatalf("weights moved beyond the training threshold")
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package bp
+
+import (
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+// aliasedTrace builds many independent biased branches that collide hard
+// in small shared PHTs: branch i is always-taken if i is even,
+// always-not-taken if odd, with pseudo-random visit order.
+func aliasedTrace(n, branches int) []trace.Record {
+	seed := uint32(77)
+	next := func() uint32 {
+		seed = seed*1664525 + 1013904223
+		return seed
+	}
+	recs := make([]trace.Record, 0, n)
+	for len(recs) < n {
+		i := int(next()) % branches
+		if i < 0 {
+			i += branches
+		}
+		recs = append(recs, trace.Record{
+			PC:    trace.Addr(0x1000 + i*4),
+			Taken: i%2 == 0,
+		})
+	}
+	return recs
+}
+
+// Interference-mitigating designs must beat plain gshare at equal (or
+// smaller) storage on an interference-heavy biased workload.
+func TestMitigationBeatsGshareUnderAliasing(t *testing.T) {
+	recs := aliasedTrace(60000, 512)
+	gshare := run(NewGshare(8), recs) // 256-entry PHT, heavily aliased
+	cases := []struct {
+		name string
+		p    Predictor
+	}{
+		{"bimode", NewBiMode(8, 8)},
+		{"yags", NewYAGS(8, 7)},
+		{"gskew", NewGSkew(8)},
+		{"perceptron", NewPerceptron(12, 8)},
+	}
+	for _, c := range cases {
+		got := run(c.p, recs)
+		if got <= gshare {
+			t.Errorf("%s (%d correct) should beat aliased gshare (%d) on biased branches",
+				c.name, got, gshare)
+		}
+	}
+}
+
+func TestBiModeLearnsCorrelation(t *testing.T) {
+	recs := correlatedTrace(3000)
+	p := NewBiMode(10, 10)
+	correct, total := 0, 0
+	for i, r := range recs {
+		if r.PC == 0x200 && i > 400 {
+			total++
+			if p.Predict(r) == r.Taken {
+				correct++
+			}
+		}
+		p.Update(r)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.97 {
+		t.Errorf("bi-mode accuracy on correlated branch = %.3f", acc)
+	}
+	if NewBiMode(10, 12).Name() != "bimode(10,12)" {
+		t.Error("name wrong")
+	}
+}
+
+func TestYAGSLearnsExceptions(t *testing.T) {
+	// A branch that is taken except when an earlier branch was not-taken:
+	// the bias says taken, the exception cache must learn the history
+	// cases where it isn't.
+	seed := uint32(5)
+	next := func() bool {
+		seed = seed*1664525 + 1013904223
+		return seed&0x20000 != 0
+	}
+	p := NewYAGS(10, 9)
+	correct, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		y := next() || next() // taken ~75%
+		ry := trace.Record{PC: 0x100, Taken: y}
+		p.Predict(ry)
+		p.Update(ry)
+		rx := trace.Record{PC: 0x200, Taken: y}
+		if i > 2000 {
+			total++
+			if p.Predict(rx) == rx.Taken {
+				correct++
+			}
+		}
+		p.Update(rx)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("YAGS accuracy on exception-structured branch = %.3f", acc)
+	}
+	if NewYAGS(10, 9).Name() != "yags(10,9)" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGSkewMajorityVote(t *testing.T) {
+	recs := correlatedTrace(4000)
+	p := NewGSkew(9)
+	correct, total := 0, 0
+	for i, r := range recs {
+		if r.PC == 0x200 && i > 800 {
+			total++
+			if p.Predict(r) == r.Taken {
+				correct++
+			}
+		}
+		p.Update(r)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("gskew accuracy on correlated branch = %.3f", acc)
+	}
+	if NewGSkew(9).Name() != "gskew(9)" {
+		t.Error("name wrong")
+	}
+}
+
+func TestPerceptronLearnsSingleHistoryBit(t *testing.T) {
+	// X copies the branch outcome from 3 branches ago; a perceptron
+	// should drive that weight up and the others to ~0.
+	seed := uint32(3)
+	next := func() bool {
+		seed = seed*1664525 + 1013904223
+		return seed&0x1000 != 0
+	}
+	p := NewPerceptron(16, 8)
+	var lag [3]bool
+	correct, total := 0, 0
+	for i := 0; i < 30000; i++ {
+		y := next()
+		ry := trace.Record{PC: 0x100, Taken: y}
+		p.Predict(ry)
+		p.Update(ry)
+		// two noise branches in between
+		for j := 0; j < 2; j++ {
+			rn := trace.Record{PC: trace.Addr(0x300 + j*4), Taken: next()}
+			p.Update(rn)
+		}
+		rx := trace.Record{PC: 0x200, Taken: lag[0]}
+		if i > 3000 {
+			total++
+			if p.Predict(rx) == rx.Taken {
+				correct++
+			}
+		}
+		p.Update(rx)
+		lag[0], lag[1], lag[2] = lag[1], lag[2], y
+	}
+	if acc := float64(correct) / float64(total); acc < 0.97 {
+		t.Errorf("perceptron accuracy on lagged-copy branch = %.3f", acc)
+	}
+}
+
+func TestPerceptronLinearlyInseparable(t *testing.T) {
+	// XOR of two history bits is not linearly separable: the perceptron
+	// must do poorly where gshare does well — the known limitation.
+	seed := uint32(13)
+	next := func() bool {
+		seed = seed*1664525 + 1013904223
+		return seed&0x4000 != 0
+	}
+	var recs []trace.Record
+	for i := 0; i < 30000; i++ {
+		a, b := next(), next()
+		recs = append(recs,
+			trace.Record{PC: 0x100, Taken: a},
+			trace.Record{PC: 0x104, Taken: b},
+			trace.Record{PC: 0x200, Taken: a != b})
+	}
+	onX := func(p Predictor) float64 {
+		correct, total := 0, 0
+		for i, r := range recs {
+			if r.PC == 0x200 && i > 6000 {
+				total++
+				if p.Predict(r) == r.Taken {
+					correct++
+				}
+			}
+			p.Update(r)
+		}
+		return float64(correct) / float64(total)
+	}
+	perc := onX(NewPerceptron(8, 8))
+	gsh := onX(NewGshare(10))
+	if gsh < 0.95 {
+		t.Fatalf("gshare should solve XOR: %.3f", gsh)
+	}
+	if perc > 0.8 {
+		t.Errorf("perceptron on XOR = %.3f; expected the linear-separability limitation", perc)
+	}
+}
+
+func TestTournament(t *testing.T) {
+	// Mixed workload from the hybrid test: tournament must beat both of
+	// its components.
+	seed := uint32(7)
+	next := func() bool {
+		seed = seed*1664525 + 1013904223
+		return seed&0x40000 != 0
+	}
+	var recs []trace.Record
+	for i := 0; i < 40000; i++ {
+		y := next()
+		recs = append(recs, rec(0x100, y), rec(0x104, y))
+		recs = append(recs, rec(0x200, i%7 != 6))
+	}
+	g := run(NewGshare(6), recs)
+	l := run(NewPAs(8, 10, 0), recs)
+	tour := run(NewTournament(8, 10, 6, 12), recs)
+	if tour <= g || tour <= l {
+		t.Errorf("tournament (%d) should beat gshare (%d) and local (%d)", tour, g, l)
+	}
+	if NewTournament(8, 10, 6, 12).Name() != "tournament(12)" {
+		t.Error("name wrong")
+	}
+}
+
+func TestNewMitigationPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bimode hist", func() { NewBiMode(0, 8) })
+	mustPanic("bimode choice", func() { NewBiMode(8, 0) })
+	mustPanic("yags choice", func() { NewYAGS(0, 8) })
+	mustPanic("yags cache", func() { NewYAGS(8, 0) })
+	mustPanic("gskew", func() { NewGSkew(0) })
+	mustPanic("perceptron hist", func() { NewPerceptron(0, 8) })
+	mustPanic("perceptron table", func() { NewPerceptron(8, 0) })
+	mustPanic("tournament", func() { NewTournament(8, 8, 8, 0) })
+}
+
+func TestParseMitigationSpecs(t *testing.T) {
+	for spec, want := range map[string]string{
+		"bimode:14,12":           "bimode(14,12)",
+		"yags:13,11":             "yags(13,11)",
+		"gskew:13":               "gskew(13)",
+		"perceptron:24,10":       "perceptron(24,10)",
+		"tournament:10,10,12,12": "tournament(12)",
+	} {
+		p, err := Parse(spec, nil)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, p.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// Path is a Nair-style path-history predictor: instead of a register of
+// branch *outcomes*, the first level records a hash of the *addresses* of
+// the last few branches, which identifies the path by which the current
+// branch was reached. Knowing a branch is "in the path" directly captures
+// the in-path correlation of section 3.1 (outcome correlation is captured
+// only indirectly, since the path determines prior outcomes of branches
+// along it). The trade-off the paper cites: a path of p addresses encodes
+// fewer branches' worth of information in the same number of bits than an
+// outcome history does.
+type Path struct {
+	pht     []Counter2
+	path    uint64   // XOR of contrib_i << (age_i * shift), ages 0..depth-1
+	addrs   []uint64 // ring buffer of past contributions (for exact aging)
+	head    int
+	phtMask uint32
+	depth   int
+	shift   uint // bit positions each path element is offset by
+	phtBits uint
+}
+
+// NewPath returns a path predictor recording the last depth branch
+// addresses, hashed into a 2^phtBits-entry PHT together with the current
+// branch's address.
+func NewPath(depth int, phtBits uint) *Path {
+	if depth <= 0 || depth > 32 {
+		panic(fmt.Sprintf("bp: path depth %d out of range [1,32]", depth))
+	}
+	if phtBits == 0 || phtBits > 26 {
+		panic(fmt.Sprintf("bp: path PHT bits %d out of range [1,26]", phtBits))
+	}
+	shift := phtBits / uint(depth)
+	if shift == 0 {
+		shift = 1
+	}
+	return &Path{
+		pht:     make([]Counter2, 1<<phtBits),
+		addrs:   make([]uint64, depth),
+		phtMask: 1<<phtBits - 1,
+		depth:   depth,
+		shift:   shift,
+		phtBits: phtBits,
+	}
+}
+
+// Name implements Predictor.
+func (p *Path) Name() string { return fmt.Sprintf("path(%d,%d)", p.depth, p.phtBits) }
+
+func (p *Path) index(pc trace.Addr) uint32 {
+	// Fold the (possibly > phtBits wide) path hash down onto the PHT.
+	folded := uint32(p.path) ^ uint32(p.path>>32)
+	return (folded ^ (uint32(pc) >> 2)) & p.phtMask
+}
+
+// Predict implements Predictor.
+func (p *Path) Predict(r trace.Record) bool {
+	return p.pht[p.index(r.PC)].Taken()
+}
+
+// Update implements Predictor: trains the counter, then rotates the
+// current branch's address into the path hash, aging out the address that
+// fell off the end of the path window exactly.
+func (p *Path) Update(r trace.Record) {
+	p.pht[p.index(r.PC)].update(r.Taken)
+	contrib := uint64(uint32(r.PC)>>2) & uint64(p.phtMask)
+	oldest := p.addrs[p.head]
+	p.addrs[p.head] = contrib
+	p.head = (p.head + 1) % p.depth
+	// Every existing contribution ages by one position, the oldest (now
+	// at age == depth) is removed, and the newest enters at age 0.
+	p.path = (p.path << p.shift) ^ (oldest << (p.shift * uint(p.depth))) ^ contrib
+}

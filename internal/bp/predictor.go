@@ -1,0 +1,71 @@
+// Package bp implements the branch-predictor zoo used by the study: the
+// classic predictors the paper measures (Smith bimodal, GAs, gshare, PAs,
+// their interference-free variants, and an ideal static predictor) and the
+// class predictors of section 4.1 (loop, fixed-length-pattern, and
+// block-pattern predictors), plus a path-history predictor and a McFarling
+// hybrid for the section 5 context.
+//
+// All predictors follow trace-driven semantics: Predict is called before
+// the outcome is known, then Update is called with the resolved outcome.
+// There is no speculative-history repair because the simulator commits one
+// branch at a time, exactly as in the paper's methodology.
+package bp
+
+import "branchcorr/internal/trace"
+
+// Predictor is a dynamic branch direction predictor.
+//
+// Predict must base its answer only on r.PC and r.Backward — never on
+// r.Taken, which carries the (yet unknown) outcome for the convenience of
+// the single-record plumbing. Update observes the resolved outcome and
+// trains the predictor.
+type Predictor interface {
+	// Name identifies the predictor configuration, e.g. "gshare(16)".
+	Name() string
+	// Predict returns the predicted direction for the branch.
+	Predict(r trace.Record) bool
+	// Update trains the predictor with the resolved outcome r.Taken.
+	Update(r trace.Record)
+}
+
+// Resettable is implemented by predictors whose state can be cleared
+// without reallocation, allowing reuse across runs.
+type Resettable interface {
+	Reset()
+}
+
+// Counter2 is a 2-bit saturating up/down counter (Smith 1981). Values
+// 0 and 1 predict not-taken; 2 and 3 predict taken. The zero value (0,
+// strongly not-taken) is the conventional initial state; WeaklyTaken (2)
+// is also common and used where the paper's predictors warm up faster.
+type Counter2 uint8
+
+// Possible counter states.
+const (
+	StronglyNotTaken Counter2 = 0
+	WeaklyNotTaken   Counter2 = 1
+	WeaklyTaken      Counter2 = 2
+	StronglyTaken    Counter2 = 3
+)
+
+// Taken reports the counter's current prediction (its most significant
+// bit).
+func (c Counter2) Taken() bool { return c >= 2 }
+
+// Next returns the counter saturating-incremented (taken) or
+// -decremented (not taken).
+func (c Counter2) Next(taken bool) Counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// update trains a counter in place.
+func (c *Counter2) update(taken bool) { *c = c.Next(taken) }

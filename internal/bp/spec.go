@@ -1,0 +1,228 @@
+package bp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"branchcorr/internal/trace"
+)
+
+// Parse builds a predictor from a textual spec, the format the bpsim CLI
+// accepts:
+//
+//	taken | not-taken | btfnt
+//	ideal-static                     (requires profiling stats)
+//	bimodal:TABLEBITS
+//	gshare:HISTBITS
+//	ifgshare:HISTBITS
+//	gas:HISTBITS,ADDRBITS
+//	pas:HISTBITS,BHTBITS,PHTBITS
+//	ifpas:HISTBITS
+//	path:DEPTH,PHTBITS
+//	loop | block
+//	finite-loop:SETBITS,WAYS
+//	fixedk:K
+//	bimode:HISTBITS,CHOICEBITS
+//	yags:CHOICEBITS,CACHEBITS
+//	gskew:BANKBITS
+//	perceptron:HISTLEN,TABLEBITS
+//	tournament:LOCALHIST,LOCALBHT,GLOBALHIST,CHOOSERBITS
+//	tage
+//	hybrid:(SPEC),(SPEC),CHOOSERBITS
+//
+// stats may be nil unless the spec needs profiling (ideal-static).
+func Parse(spec string, stats *trace.Stats) (Predictor, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	ints := func(want int) ([]uint, error) {
+		parts := strings.Split(args, ",")
+		if args == "" || len(parts) != want {
+			return nil, fmt.Errorf("bp: spec %q needs %d numeric argument(s)", spec, want)
+		}
+		out := make([]uint, want)
+		for i, p := range parts {
+			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bp: spec %q: bad argument %q", spec, p)
+			}
+			out[i] = uint(v)
+		}
+		return out, nil
+	}
+	switch name {
+	case "taken":
+		return AlwaysTaken{}, nil
+	case "not-taken":
+		return AlwaysNotTaken{}, nil
+	case "btfnt":
+		return BTFNT{}, nil
+	case "ideal-static":
+		if stats == nil {
+			return nil, fmt.Errorf("bp: ideal-static needs trace statistics")
+		}
+		return NewIdealStatic(stats), nil
+	case "bimodal":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewBimodal(a[0]), nil
+	case "gshare":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewGshare(a[0]), nil
+	case "ifgshare":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewIFGshare(a[0]), nil
+	case "gas":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewGAs(a[0], a[1]), nil
+	case "pas":
+		a, err := ints(3)
+		if err != nil {
+			return nil, err
+		}
+		return NewPAs(a[0], a[1], a[2]), nil
+	case "ifpas":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewIFPAs(a[0]), nil
+	case "path":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewPath(int(a[0]), a[1]), nil
+	case "loop":
+		return NewLoop(), nil
+	case "finite-loop":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewFiniteLoop(a[0], int(a[1])), nil
+	case "block":
+		return NewBlock(), nil
+	case "fixedk":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewFixedK(int(a[0])), nil
+	case "bimode":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewBiMode(a[0], a[1]), nil
+	case "yags":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewYAGS(a[0], a[1]), nil
+	case "gskew":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		return NewGSkew(a[0]), nil
+	case "perceptron":
+		a, err := ints(2)
+		if err != nil {
+			return nil, err
+		}
+		return NewPerceptron(int(a[0]), a[1]), nil
+	case "tage":
+		if args != "" {
+			return nil, fmt.Errorf("bp: tage takes no arguments (uses the default geometry)")
+		}
+		return NewTAGEDefault(), nil
+	case "tournament":
+		a, err := ints(4)
+		if err != nil {
+			return nil, err
+		}
+		return NewTournament(a[0], a[1], a[2], a[3]), nil
+	case "hybrid":
+		specA, specB, bits, err := splitHybrid(args)
+		if err != nil {
+			return nil, fmt.Errorf("bp: spec %q: %v", spec, err)
+		}
+		a, err := Parse(specA, stats)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Parse(specB, stats)
+		if err != nil {
+			return nil, err
+		}
+		return NewHybrid(a, b, bits), nil
+	default:
+		return nil, fmt.Errorf("bp: unknown predictor %q (see Parse docs for the spec grammar)", name)
+	}
+}
+
+// splitHybrid parses "(SPEC),(SPEC),BITS".
+func splitHybrid(args string) (string, string, uint, error) {
+	specA, rest, err := takeParen(args)
+	if err != nil {
+		return "", "", 0, err
+	}
+	rest = strings.TrimPrefix(rest, ",")
+	specB, rest, err := takeParen(rest)
+	if err != nil {
+		return "", "", 0, err
+	}
+	rest = strings.TrimPrefix(rest, ",")
+	bits, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 8)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad chooser bits %q", rest)
+	}
+	return specA, specB, uint(bits), nil
+}
+
+// takeParen consumes a balanced "(...)" prefix and returns its contents
+// and the remainder.
+func takeParen(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") {
+		return "", "", fmt.Errorf("expected '(' at %q", s)
+	}
+	depth := 0
+	for i, c := range s {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return s[1:i], s[i+1:], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("unbalanced parentheses in %q", s)
+}
+
+// KnownSpecs lists example specs for help output.
+func KnownSpecs() []string {
+	return []string{
+		"taken", "not-taken", "btfnt", "ideal-static",
+		"bimodal:14", "gshare:16", "ifgshare:16", "gas:12,4",
+		"pas:12,10,6", "ifpas:16", "path:8,14", "loop", "block",
+		"fixedk:4", "finite-loop:8,4", "bimode:14,12", "yags:13,11", "gskew:13",
+		"perceptron:24,10", "tournament:10,10,12,12", "tage",
+		"hybrid:(gshare:14),(pas:12,10,6),12",
+	}
+}

@@ -1,0 +1,79 @@
+package bp
+
+import (
+	"strings"
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+func TestParseValidSpecs(t *testing.T) {
+	tr := trace.New("t", 0)
+	tr.Append(trace.Record{PC: 1, Taken: true})
+	stats := trace.Summarize(tr)
+	cases := map[string]string{
+		"taken":                             "always-taken",
+		"not-taken":                         "always-not-taken",
+		"btfnt":                             "btfnt",
+		"ideal-static":                      "ideal-static",
+		"bimodal:14":                        "bimodal(14)",
+		"gshare:16":                         "gshare(16)",
+		"ifgshare:12":                       "IF-gshare(12)",
+		"gas:12,4":                          "GAs(12,4)",
+		"pas:12,10,6":                       "PAs(12,10,6)",
+		"ifpas:16":                          "IF-PAs(16)",
+		"path:8,14":                         "path(8,14)",
+		"loop":                              "loop",
+		"block":                             "block",
+		"fixedk:4":                          "fixed-k(4)",
+		"hybrid:(gshare:14),(pas:8,8,2),12": "hybrid(gshare(14),PAs(8,8,2),12)",
+		"hybrid:(hybrid:(gshare:8),(loop),4),(btfnt),4": "hybrid(hybrid(gshare(8),loop,4),btfnt,4)",
+	}
+	for spec, wantName := range cases {
+		p, err := Parse(spec, stats)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if p.Name() != wantName {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, p.Name(), wantName)
+		}
+	}
+}
+
+func TestParseEveryKnownSpec(t *testing.T) {
+	tr := trace.New("t", 0)
+	tr.Append(trace.Record{PC: 1, Taken: true})
+	stats := trace.Summarize(tr)
+	for _, spec := range KnownSpecs() {
+		if _, err := Parse(spec, stats); err != nil {
+			t.Errorf("KnownSpecs entry %q does not parse: %v", spec, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"nope",
+		"gshare",                      // missing args
+		"gshare:",                     // empty args
+		"gshare:x",                    // non-numeric
+		"gshare:16,2",                 // too many args
+		"pas:12",                      // too few args
+		"hybrid:gshare:8",             // missing parens
+		"hybrid:(gshare:8),(loop)",    // missing bits
+		"hybrid:((gshare:8),(loop),4", // unbalanced
+		"hybrid:(gshare:8),(loop),x",  // bad bits
+		"hybrid:(nope),(loop),4",      // bad inner spec
+		"hybrid:(loop),(nope),4",      // bad inner spec (second)
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec, nil); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+	if _, err := Parse("ideal-static", nil); err == nil || !strings.Contains(err.Error(), "statistics") {
+		t.Errorf("ideal-static without stats: %v", err)
+	}
+}

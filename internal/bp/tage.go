@@ -1,0 +1,255 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// TAGE (Seznec & Michaud, 2006) is the eventual answer to the question
+// this paper posed: how to exploit exactly the correlation that exists,
+// at whatever history distance it lives. A base bimodal predictor is
+// backed by several tagged tables indexed with geometrically increasing
+// history lengths; the longest-history tagged hit provides the
+// prediction, a shorter hit (or the base) provides the alternate, and
+// useful-counters steer allocation. Included as the "what the paper's
+// insight became" extension and benchmarked against the paper-era
+// predictors in BenchmarkAblationModern.
+type TAGE struct {
+	base     []Counter2
+	tables   []tageTable
+	histLens []int
+	ghist    []uint8 // global history, newest first, 1 = taken
+	useAlt   Counter2
+	baseMask uint32
+	baseBits uint
+	rng      uint32 // deterministic LFSR for allocation tie-breaks
+	// prediction bookkeeping between Predict and Update
+	provider  int // table index of provider, -1 = base
+	altPred   bool
+	pred      bool
+	provIdx   uint32
+	lastPC    trace.Addr
+	haveState bool
+}
+
+type tageTable struct {
+	ctr     []Counter2
+	tag     []uint16
+	use     []uint8
+	mask    uint32
+	idxFold folded
+	tagFold folded
+}
+
+// folded is an incrementally maintained circular-shift fold of the most
+// recent `length` history bits down to `bits` bits (Seznec's CSR), so
+// indexes and tags cost O(1) per branch instead of O(history).
+type folded struct {
+	comp   uint32
+	bits   uint
+	length uint
+}
+
+func (f *folded) update(newBit, oldBit uint32) {
+	f.comp = f.comp<<1 | newBit
+	f.comp ^= oldBit << (f.length % f.bits)
+	f.comp ^= f.comp >> f.bits
+	f.comp &= 1<<f.bits - 1
+}
+
+// NewTAGE returns a TAGE predictor with 2^baseBits base counters and
+// tagged tables of 2^tableBits entries at the given history lengths
+// (geometric series like {5, 15, 44, 130} is customary).
+func NewTAGE(baseBits, tableBits uint, histLens []int) *TAGE {
+	if baseBits == 0 || baseBits > 20 || tableBits == 0 || tableBits > 20 {
+		panic(fmt.Sprintf("bp: TAGE bits out of range: base=%d table=%d", baseBits, tableBits))
+	}
+	if len(histLens) == 0 || len(histLens) > 8 {
+		panic(fmt.Sprintf("bp: TAGE needs 1-8 tagged tables, got %d", len(histLens)))
+	}
+	maxLen := 0
+	for i, l := range histLens {
+		if l <= 0 || l > 512 {
+			panic(fmt.Sprintf("bp: TAGE history length %d out of range", l))
+		}
+		if i > 0 && histLens[i] <= histLens[i-1] {
+			panic("bp: TAGE history lengths must increase")
+		}
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	t := &TAGE{
+		base:     make([]Counter2, 1<<baseBits),
+		histLens: histLens,
+		ghist:    make([]uint8, maxLen),
+		baseMask: 1<<baseBits - 1,
+		baseBits: baseBits,
+		useAlt:   WeaklyNotTaken,
+		rng:      0xACE1,
+	}
+	for _, l := range histLens {
+		t.tables = append(t.tables, tageTable{
+			ctr:     make([]Counter2, 1<<tableBits),
+			tag:     make([]uint16, 1<<tableBits),
+			use:     make([]uint8, 1<<tableBits),
+			mask:    1<<tableBits - 1,
+			idxFold: folded{bits: tableBits, length: uint(l)},
+			tagFold: folded{bits: 9, length: uint(l)},
+		})
+	}
+	for ti := range t.tables {
+		for i := range t.tables[ti].tag {
+			t.tables[ti].tag[i] = 0xFFFF // invalid
+		}
+	}
+	return t
+}
+
+// Name implements Predictor.
+func (t *TAGE) Name() string {
+	return fmt.Sprintf("tage(%d,%d tables)", t.baseBits, len(t.tables))
+}
+
+func (t *TAGE) index(ti int, pc trace.Addr) uint32 {
+	tbl := &t.tables[ti]
+	return ((uint32(pc) >> 2) ^ tbl.idxFold.comp ^ uint32(ti)*0x9E3779B9) & tbl.mask
+}
+
+func (t *TAGE) tagOf(ti int, pc trace.Addr) uint16 {
+	h := t.tables[ti].tagFold.comp
+	return uint16(((uint32(pc) >> 2) ^ h*3 ^ uint32(ti)*40503) & 0x1FF)
+}
+
+// Predict implements Predictor, recording provider/alternate state for
+// the paired Update.
+func (t *TAGE) Predict(r trace.Record) bool {
+	base := t.base[(uint32(r.PC)>>2)&t.baseMask].Taken()
+	provider, alt := -1, base
+	pred := base
+	for ti := len(t.tables) - 1; ti >= 0; ti-- {
+		idx := t.index(ti, r.PC)
+		if t.tables[ti].tag[idx] == t.tagOf(ti, r.PC) {
+			if provider == -1 {
+				provider = ti
+				t.provIdx = idx
+				pred = t.tables[ti].ctr[idx].Taken()
+			} else {
+				alt = t.tables[ti].ctr[t.index(ti, r.PC)].Taken()
+				break
+			}
+		}
+	}
+	if provider >= 0 && alt == base {
+		// alternate stayed base (no second hit); nothing to adjust.
+		_ = alt
+	}
+	// Weak provider entries sometimes do worse than the alternate; a
+	// global use-alt counter arbitrates (simplified from the original's
+	// per-entry confidence).
+	if provider >= 0 {
+		c := t.tables[provider].ctr[t.provIdx]
+		weak := c == WeaklyTaken || c == WeaklyNotTaken
+		if weak && t.useAlt.Taken() {
+			pred = alt
+		}
+	}
+	t.provider, t.altPred, t.pred = provider, alt, pred
+	t.lastPC = r.PC
+	t.haveState = true
+	return pred
+}
+
+func (t *TAGE) nextRand() uint32 {
+	// 16-bit Galois LFSR: deterministic allocation tie-breaking.
+	lsb := t.rng & 1
+	t.rng >>= 1
+	if lsb != 0 {
+		t.rng ^= 0xB400
+	}
+	return t.rng
+}
+
+// Update implements Predictor.
+func (t *TAGE) Update(r trace.Record) {
+	if !t.haveState || t.lastPC != r.PC {
+		t.Predict(r)
+	}
+	t.haveState = false
+	correct := t.pred == r.Taken
+
+	if t.provider >= 0 {
+		tbl := &t.tables[t.provider]
+		// useful counter: provider right where alternate wrong.
+		if t.pred != t.altPred {
+			if correct && tbl.use[t.provIdx] < 3 {
+				tbl.use[t.provIdx]++
+			} else if !correct && tbl.use[t.provIdx] > 0 {
+				tbl.use[t.provIdx]--
+			}
+			// use-alt arbitration training on weak providers.
+			c := tbl.ctr[t.provIdx]
+			if c == WeaklyTaken || c == WeaklyNotTaken {
+				t.useAlt = t.useAlt.Next(t.altPred == r.Taken)
+			}
+		}
+		tbl.ctr[t.provIdx] = tbl.ctr[t.provIdx].Next(r.Taken)
+	} else {
+		i := (uint32(r.PC) >> 2) & t.baseMask
+		t.base[i] = t.base[i].Next(r.Taken)
+	}
+
+	// On a misprediction, allocate an entry in a longer-history table.
+	if !correct && t.provider < len(t.tables)-1 {
+		start := t.provider + 1
+		allocated := false
+		for ti := start; ti < len(t.tables); ti++ {
+			idx := t.index(ti, r.PC)
+			if t.tables[ti].use[idx] == 0 {
+				t.tables[ti].tag[idx] = t.tagOf(ti, r.PC)
+				if r.Taken {
+					t.tables[ti].ctr[idx] = WeaklyTaken
+				} else {
+					t.tables[ti].ctr[idx] = WeaklyNotTaken
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay a random candidate's useful counter so future
+			// allocations succeed.
+			ti := start + int(t.nextRand())%(len(t.tables)-start)
+			idx := t.index(ti, r.PC)
+			if t.tables[ti].use[idx] > 0 {
+				t.tables[ti].use[idx]--
+			}
+		}
+	}
+
+	// Shift the outcome into the global history and advance the folded
+	// registers: the bit entering each table's window is the outcome,
+	// the bit leaving is the one that just aged past the table's history
+	// length.
+	newBit := uint32(0)
+	if r.Taken {
+		newBit = 1
+	}
+	for ti := range t.tables {
+		l := t.histLens[ti]
+		t.tables[ti].idxFold.update(newBit, uint32(t.ghist[l-1]))
+		t.tables[ti].tagFold.update(newBit, uint32(t.ghist[l-1]))
+	}
+	copy(t.ghist[1:], t.ghist[:len(t.ghist)-1])
+	t.ghist[0] = uint8(newBit)
+}
+
+var _ Predictor = (*TAGE)(nil)
+
+// NewTAGEDefault returns a small standard configuration: 2^12 base
+// counters and four 2^10-entry tagged tables with history lengths
+// {5, 15, 44, 130}.
+func NewTAGEDefault() *TAGE {
+	return NewTAGE(12, 10, []int{5, 15, 44, 130})
+}

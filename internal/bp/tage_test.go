@@ -1,0 +1,126 @@
+package bp
+
+import (
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+func TestTAGELearnsBiasAndLoops(t *testing.T) {
+	p := NewTAGEDefault()
+	miss := 0
+	for i := 0; i < 6000; i++ {
+		r := rec(0x40, i%7 != 6) // loop of 6
+		if i > 1500 && p.Predict(r) != r.Taken {
+			miss++
+		}
+		p.Update(r)
+	}
+	if acc := 1 - float64(miss)/4500; acc < 0.98 {
+		t.Errorf("TAGE on a loop branch = %.3f, want >= 0.98", acc)
+	}
+}
+
+func TestTAGEExploitsCorrelation(t *testing.T) {
+	recs := correlatedTrace(6000)
+	p := NewTAGEDefault()
+	correct, total := 0, 0
+	for i, r := range recs {
+		if r.PC == 0x200 && i > 2000 {
+			total++
+			if p.Predict(r) == r.Taken {
+				correct++
+			}
+		}
+		p.Update(r)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Errorf("TAGE on correlated branch = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestTAGELongHistory(t *testing.T) {
+	// A branch whose outcome repeats with period 24 — beyond a short
+	// gshare's history but within TAGE's 44-length table, given the
+	// intermediate stream is just this branch.
+	pat := make([]bool, 24)
+	for i := range pat {
+		pat[i] = i%3 != 0 && i%5 != 0
+	}
+	tage := NewTAGEDefault()
+	gshare := NewGshare(8)
+	tMiss, gMiss := 0, 0
+	for i := 0; i < 20000; i++ {
+		r := rec(0x80, pat[i%24])
+		if i > 8000 {
+			if tage.Predict(r) != r.Taken {
+				tMiss++
+			}
+			if gshare.Predict(r) != r.Taken {
+				gMiss++
+			}
+		}
+		tage.Update(r)
+		gshare.Update(r)
+	}
+	if tMiss > 200 {
+		t.Errorf("TAGE missed %d/12000 on a period-24 pattern", tMiss)
+	}
+	if tMiss >= gMiss {
+		t.Errorf("TAGE (%d misses) should beat gshare(8) (%d) on long patterns", tMiss, gMiss)
+	}
+}
+
+func TestTAGEOnMixedStream(t *testing.T) {
+	// Combined biased + loop + correlated stream: TAGE must beat bimodal
+	// clearly and at least match a small gshare.
+	seed := uint32(15)
+	next := func() bool {
+		seed = seed*1664525 + 1013904223
+		return seed&0x2000 != 0
+	}
+	var recs []trace.Record
+	for i := 0; i < 40000; i++ {
+		y := next()
+		recs = append(recs,
+			rec(0x100, y),
+			rec(0x104, y),
+			rec(0x200, i%9 != 8),
+			rec(0x300, true))
+	}
+	tage := run(NewTAGEDefault(), recs)
+	bimodal := run(NewBimodal(12), recs)
+	gshare := run(NewGshare(10), recs)
+	if tage <= bimodal {
+		t.Errorf("TAGE (%d) should beat bimodal (%d)", tage, bimodal)
+	}
+	if float64(tage) < float64(gshare)*0.99 {
+		t.Errorf("TAGE (%d) should be near gshare (%d) or better", tage, gshare)
+	}
+}
+
+func TestTAGEPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTAGE(0, 10, []int{5}) },
+		func() { NewTAGE(12, 0, []int{5}) },
+		func() { NewTAGE(12, 10, nil) },
+		func() { NewTAGE(12, 10, []int{5, 5}) },    // non-increasing
+		func() { NewTAGE(12, 10, []int{0}) },       // bad length
+		func() { NewTAGE(12, 10, make([]int, 9)) }, // too many tables
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTAGEName(t *testing.T) {
+	if NewTAGEDefault().Name() != "tage(12,4 tables)" {
+		t.Errorf("Name = %q", NewTAGEDefault().Name())
+	}
+}

@@ -1,0 +1,125 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// YAGS ("yet another global scheme", Eden & Mudge, MICRO 1998) is another
+// interference-mitigation design from the same research thread the paper
+// feeds: a bimodal choice PHT supplies the bias, and two small *tagged*
+// direction caches store only the exceptions — (history, address) cases
+// whose outcome disagrees with the bias. A hit in the appropriate
+// direction cache overrides the bias; misses fall back to it. Tags keep
+// aliased branches from overriding each other.
+type YAGS struct {
+	choice     []Counter2
+	cacheCtr   [2][]Counter2 // exception caches: [0] for biased-taken, [1] for biased-not-taken
+	cacheTag   [2][]uint8
+	history    uint32
+	cacheMask  uint32
+	choiceMask uint32
+	cacheBits  uint
+	choiceBits uint
+}
+
+// NewYAGS returns a YAGS predictor with a 2^choiceBits-entry choice PHT
+// and two 2^cacheBits-entry tagged exception caches (6-bit tags).
+func NewYAGS(choiceBits, cacheBits uint) *YAGS {
+	if choiceBits == 0 || choiceBits > 26 {
+		panic(fmt.Sprintf("bp: YAGS choice bits %d out of range [1,26]", choiceBits))
+	}
+	if cacheBits == 0 || cacheBits > 26 {
+		panic(fmt.Sprintf("bp: YAGS cache bits %d out of range [1,26]", cacheBits))
+	}
+	p := &YAGS{
+		choice:     make([]Counter2, 1<<choiceBits),
+		cacheMask:  1<<cacheBits - 1,
+		choiceMask: 1<<choiceBits - 1,
+		cacheBits:  cacheBits,
+		choiceBits: choiceBits,
+	}
+	for b := 0; b < 2; b++ {
+		p.cacheCtr[b] = make([]Counter2, 1<<cacheBits)
+		p.cacheTag[b] = make([]uint8, 1<<cacheBits)
+		for i := range p.cacheTag[b] {
+			p.cacheTag[b][i] = 0xFF // invalid
+		}
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *YAGS) Name() string {
+	return fmt.Sprintf("yags(%d,%d)", p.choiceBits, p.cacheBits)
+}
+
+func (p *YAGS) tag(pc trace.Addr) uint8 {
+	return uint8((uint32(pc) >> 2) & 0x3F)
+}
+
+func (p *YAGS) cacheIndex(pc trace.Addr) uint32 {
+	return ((uint32(pc) >> 2) ^ p.history) & p.cacheMask
+}
+
+func (p *YAGS) choiceIndex(pc trace.Addr) uint32 {
+	return (uint32(pc) >> 2) & p.choiceMask
+}
+
+// lookup returns the exception-cache prediction and whether it hit, for
+// the given bias.
+func (p *YAGS) lookup(pc trace.Addr, biasTaken bool) (bool, bool) {
+	bank := 0
+	if !biasTaken {
+		bank = 1
+	}
+	i := p.cacheIndex(pc)
+	if p.cacheTag[bank][i] == p.tag(pc) {
+		return p.cacheCtr[bank][i].Taken(), true
+	}
+	return false, false
+}
+
+// Predict implements Predictor.
+func (p *YAGS) Predict(r trace.Record) bool {
+	bias := p.choice[p.choiceIndex(r.PC)].Taken()
+	if pred, hit := p.lookup(r.PC, bias); hit {
+		return pred
+	}
+	return bias
+}
+
+// Update implements Predictor.
+func (p *YAGS) Update(r trace.Record) {
+	ci := p.choiceIndex(r.PC)
+	bias := p.choice[ci].Taken()
+	bank := 0
+	if !bias {
+		bank = 1
+	}
+	i := p.cacheIndex(r.PC)
+	hit := p.cacheTag[bank][i] == p.tag(r.PC)
+	if hit {
+		p.cacheCtr[bank][i] = p.cacheCtr[bank][i].Next(r.Taken)
+	} else if r.Taken != bias {
+		// Allocate an exception entry when the bias mispredicts.
+		p.cacheTag[bank][i] = p.tag(r.PC)
+		if r.Taken {
+			p.cacheCtr[bank][i] = WeaklyTaken
+		} else {
+			p.cacheCtr[bank][i] = WeaklyNotTaken
+		}
+	}
+	// The choice PHT trains like bi-mode's: skip the update when the
+	// exception cache was right and the outcome disagrees with the bias.
+	if !(hit && p.cacheCtr[bank][i].Taken() == r.Taken && r.Taken != bias) {
+		p.choice[ci] = p.choice[ci].Next(r.Taken)
+	}
+	p.history = (p.history << 1) & p.cacheMask
+	if r.Taken {
+		p.history |= 1
+	}
+}
+
+var _ Predictor = (*YAGS)(nil)

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/trace"
+)
+
+// OnlineSelective is a practical (non-oracle) selective-history
+// predictor — the "better or less complex predictors" the paper's
+// introduction hopes its analysis enables. Where the hypothetical §3.4
+// predictor gets its 1–3 correlated branches from an offline oracle,
+// this one discovers them online:
+//
+//   - For every branch it keeps agreement statistics over candidate
+//     tagged instances from the window (occurrence tags, §3.2): how
+//     often the candidate's direction matched the branch outcome.
+//     Candidates whose agreement rate deviates from 1/2 — correlated
+//     OR anti-correlated — are informative; candidates near 1/2 are
+//     noise.
+//   - Every reselection interval the branch adopts the candidates with
+//     the largest agreement-rate deviation as its selective history and
+//     (re)starts a fresh pattern table over them.
+//
+// It is interference-free like the paper's predictor (per-branch
+// tables) but requires no profiling pass, making it a fair "what could
+// be built from this insight" comparison point: see
+// BenchmarkExtensionOnlineSelective for how close it gets to the
+// oracle-selected version.
+type OnlineSelective struct {
+	window  *Window
+	refs    int // history size (1..MaxSelectiveRefs)
+	period  int // reselection interval (per-branch occurrences)
+	perPC   map[trace.Addr]*onlineState
+	scratch [MaxSelectiveRefs]State
+}
+
+// onlineState is one branch's discovery and prediction state.
+type onlineState struct {
+	// candidate agreement statistics: [agreements, observations]
+	scores map[Ref]*[2]uint16
+	seen   int
+	// adopted selective history
+	refs  []Ref
+	table []bp.Counter2
+	// fallback while no refs are adopted
+	bias bp.Counter2
+}
+
+// NewOnlineSelective returns an online selective predictor using up to
+// refs correlated branches per static branch (1..MaxSelectiveRefs), a
+// window of n prior branches, and reselection every period occurrences.
+func NewOnlineSelective(refs, n, period int) *OnlineSelective {
+	if refs < 1 || refs > MaxSelectiveRefs {
+		panic(fmt.Sprintf("core: online selective refs %d out of range [1,%d]", refs, MaxSelectiveRefs))
+	}
+	if period < 16 {
+		panic(fmt.Sprintf("core: online selective period %d too small (min 16)", period))
+	}
+	return &OnlineSelective{
+		window: NewWindow(n),
+		refs:   refs,
+		period: period,
+		perPC:  make(map[trace.Addr]*onlineState),
+	}
+}
+
+// Name implements bp.Predictor.
+func (p *OnlineSelective) Name() string {
+	return fmt.Sprintf("online-selective(%d,%d)", p.refs, p.window.Len())
+}
+
+func (p *OnlineSelective) state(pc trace.Addr) *onlineState {
+	st := p.perPC[pc]
+	if st == nil {
+		st = &onlineState{scores: make(map[Ref]*[2]uint16), bias: bp.WeaklyTaken}
+		p.perPC[pc] = st
+	}
+	return st
+}
+
+// Predict implements bp.Predictor.
+func (p *OnlineSelective) Predict(r trace.Record) bool {
+	st := p.state(r.PC)
+	if len(st.refs) == 0 {
+		return st.bias.Taken()
+	}
+	p.window.States(st.refs, p.scratch[:len(st.refs)])
+	return st.table[p.pattern(st)].Taken()
+}
+
+func (p *OnlineSelective) pattern(st *onlineState) int {
+	idx := 0
+	for i := len(st.refs) - 1; i >= 0; i-- {
+		idx = idx*NumStates + int(p.scratch[i])
+	}
+	return idx
+}
+
+// Update implements bp.Predictor: trains the adopted pattern table,
+// scores the window's candidates against the outcome, and periodically
+// re-adopts the strongest candidates.
+func (p *OnlineSelective) Update(r trace.Record) {
+	st := p.state(r.PC)
+	if len(st.refs) == 0 {
+		st.bias = st.bias.Next(r.Taken)
+	} else {
+		p.window.States(st.refs, p.scratch[:len(st.refs)])
+		i := p.pattern(st)
+		st.table[i] = st.table[i].Next(r.Taken)
+	}
+
+	// Record agreement with the outcome. Only occurrence-tagged
+	// candidates are scored: with no loop boundary between two schemes'
+	// tags they alias to the same instance, and two aliases of one
+	// branch would crowd out a genuine second correlation. Absent
+	// candidates are not scored (no evidence either way).
+	p.window.Visit(func(ref Ref, taken bool) bool {
+		if ref.Scheme != Occurrence {
+			return true
+		}
+		sc := st.scores[ref]
+		if sc == nil {
+			sc = &[2]uint16{}
+			st.scores[ref] = sc
+		}
+		if taken == r.Taken {
+			sc[0]++
+		}
+		sc[1]++
+		return true
+	})
+
+	st.seen++
+	if st.seen%p.period == 0 {
+		p.reselect(st)
+	}
+	p.window.Push(r)
+}
+
+// reselect adopts the refs whose agreement rate deviates most from 1/2
+// (correlation OR anti-correlation is equally exploitable by the pattern
+// table).
+func (p *OnlineSelective) reselect(st *onlineState) {
+	best := make([]Ref, 0, p.refs)
+	bestDev := make([]int, 0, p.refs)
+	for ref, sc := range st.scores {
+		agree, total := int(sc[0]), int(sc[1])
+		if total < 48 {
+			continue // not enough evidence yet
+		}
+		// Deviation of the agreement rate from 1/2, in 1/1024 units.
+		dev := (2*agree - total) * 1024 / total
+		if dev < 0 {
+			dev = -dev
+		}
+		// Require a clear signal before adopting (rate beyond 62%/38%).
+		if dev < 256 {
+			continue
+		}
+		// Insertion into the top list, deterministically tie-broken.
+		pos := len(best)
+		for i := range best {
+			if dev > bestDev[i] || (dev == bestDev[i] && refLess(ref, best[i])) {
+				pos = i
+				break
+			}
+		}
+		if pos < p.refs {
+			best = append(best, Ref{})
+			bestDev = append(bestDev, 0)
+			copy(best[pos+1:], best[pos:])
+			copy(bestDev[pos+1:], bestDev[pos:])
+			best[pos] = ref
+			bestDev[pos] = dev
+			if len(best) > p.refs {
+				best = best[:p.refs]
+				bestDev = bestDev[:p.refs]
+			}
+		}
+	}
+	if sameRefs(best, st.refs) {
+		return
+	}
+	st.refs = best
+	st.table = make([]bp.Counter2, pow3[len(best)])
+	// Halve the evidence so the next interval re-validates the choice
+	// rather than locking it in forever (and keeps counts well below
+	// uint16 range).
+	for _, sc := range st.scores {
+		sc[0] /= 2
+		sc[1] /= 2
+	}
+}
+
+func sameRefs(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ bp.Predictor = (*OnlineSelective)(nil)

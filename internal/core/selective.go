@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/trace"
+)
+
+// MaxSelectiveRefs is the largest selective-history size the paper
+// studies (1, 2 or 3 most-important branches).
+const MaxSelectiveRefs = 3
+
+// pow3 holds powers of three for pattern indexing.
+var pow3 = [MaxSelectiveRefs + 1]int{1, 3, 9, 27}
+
+// Assignment maps each static branch to the correlated-branch instances
+// whose outcomes form its selective history. Branches may have fewer refs
+// than the nominal history size (e.g. a branch with no useful correlation
+// candidates), down to zero refs, in which case the selective predictor
+// degenerates to a single private 2-bit counter for that branch.
+type Assignment map[trace.Addr][]Ref
+
+// Mode selects how much of a correlated instance's state the selective
+// history records, separating the two correlation kinds of section 3.1.
+type Mode uint8
+
+const (
+	// ModeDirection is the paper's section 3.4 predictor: each ref
+	// contributes taken / not-taken / not-in-path (radix 3). It captures
+	// direction correlation and in-path correlation together.
+	ModeDirection Mode = iota
+	// ModePresence discards the correlated branch's outcome and records
+	// only whether it was in the path (radix 2). The accuracy a
+	// presence-only history retains is a direct measure of in-path
+	// correlation (section 3.1): knowing a branch was reached says which
+	// way the branches before it went, regardless of its own direction.
+	ModePresence
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDirection:
+		return "direction"
+	case ModePresence:
+		return "presence"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Selective is the hypothetical predictor of section 3.4. It works like a
+// global two-level predictor, but the first-level history of a branch
+// contains only the outcomes of its assigned correlated branches, each
+// recorded as taken, not-taken, or not-in-path. A k-ref history therefore
+// has 3^k patterns, each selecting a 2-bit counter in a per-branch
+// (interference-free) second-level table; the upper counter bit is the
+// prediction and the counter trains on the branch's outcome, identically
+// to a global two-level predictor.
+type Selective struct {
+	name   string
+	window *Window
+	assign Assignment
+	mode   Mode
+	tables map[trace.Addr][]bp.Counter2
+	// scratch
+	states  [MaxSelectiveRefs]State
+	lastIdx int
+	lastPC  trace.Addr
+	valid   bool
+}
+
+// NewSelective builds a selective-history predictor over a window of n
+// branches with the given per-branch ref assignment, in the paper's
+// direction mode. Branches absent from the assignment get an empty ref
+// set lazily.
+func NewSelective(name string, n int, assign Assignment) *Selective {
+	return NewSelectiveMode(name, n, assign, ModeDirection)
+}
+
+// NewSelectiveMode builds a selective-history predictor with an explicit
+// state mode (see Mode).
+func NewSelectiveMode(name string, n int, assign Assignment, mode Mode) *Selective {
+	for pc, refs := range assign {
+		if len(refs) > MaxSelectiveRefs {
+			panic(fmt.Sprintf("core: branch 0x%x assigned %d refs, max %d",
+				uint32(pc), len(refs), MaxSelectiveRefs))
+		}
+	}
+	return &Selective{
+		name:   name,
+		window: NewWindow(n),
+		assign: assign,
+		mode:   mode,
+		tables: make(map[trace.Addr][]bp.Counter2),
+	}
+}
+
+// Name implements bp.Predictor.
+func (s *Selective) Name() string { return s.name }
+
+// patternIndex resolves the branch's refs against the window and returns
+// (counter table, pattern index), creating the table on first use.
+func (s *Selective) patternIndex(pc trace.Addr) ([]bp.Counter2, int) {
+	refs := s.assign[pc]
+	table := s.tables[pc]
+	if table == nil {
+		table = make([]bp.Counter2, pow3[len(refs)])
+		s.tables[pc] = table
+	}
+	if len(refs) == 0 {
+		return table, 0
+	}
+	s.window.States(refs, s.states[:len(refs)])
+	idx := 0
+	if s.mode == ModePresence {
+		for i := len(refs) - 1; i >= 0; i-- {
+			idx <<= 1
+			if s.states[i] != StateAbsent {
+				idx |= 1
+			}
+		}
+	} else {
+		for i := len(refs) - 1; i >= 0; i-- {
+			idx = idx*NumStates + int(s.states[i])
+		}
+	}
+	return table, idx
+}
+
+// Predict implements bp.Predictor. The resolved pattern is memoized for
+// the immediately following Update of the same branch, the common
+// simulator calling convention.
+func (s *Selective) Predict(r trace.Record) bool {
+	table, idx := s.patternIndex(r.PC)
+	s.lastPC, s.lastIdx, s.valid = r.PC, idx, true
+	return table[idx].Taken()
+}
+
+// Update implements bp.Predictor: trains the pattern's counter with the
+// outcome, then commits the branch into the history window.
+func (s *Selective) Update(r trace.Record) {
+	var table []bp.Counter2
+	var idx int
+	if s.valid && s.lastPC == r.PC {
+		table, idx = s.tables[r.PC], s.lastIdx
+	} else {
+		table, idx = s.patternIndex(r.PC)
+	}
+	s.valid = false
+	table[idx] = table[idx].Next(r.Taken)
+	s.window.Push(r)
+}
+
+var _ bp.Predictor = (*Selective)(nil)

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+func rec(pc trace.Addr, taken bool) trace.Record {
+	return trace.Record{PC: pc, Taken: taken}
+}
+
+func backTaken(pc trace.Addr) trace.Record {
+	return trace.Record{PC: pc, Taken: true, Backward: true}
+}
+
+func TestWindowPushEvict(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 3 || w.Size() != 0 {
+		t.Fatalf("fresh window: len=%d size=%d", w.Len(), w.Size())
+	}
+	for i := 1; i <= 5; i++ {
+		w.Push(rec(trace.Addr(i), true))
+	}
+	if w.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", w.Size())
+	}
+	// Most recent first: 5, 4, 3.
+	for i, want := range []trace.Addr{5, 4, 3} {
+		if got := w.at(i); got.PC != want {
+			t.Errorf("at(%d).PC = %d, want %d", i, got.PC, want)
+		}
+	}
+}
+
+func TestWindowPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) should panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+// collectRefs gathers everything Visit emits.
+func collectRefs(w *Window) map[Ref]bool {
+	out := make(map[Ref]bool)
+	w.Visit(func(ref Ref, taken bool) bool {
+		out[ref] = taken
+		return true
+	})
+	return out
+}
+
+func TestVisitOccurrenceTags(t *testing.T) {
+	w := NewWindow(8)
+	// Push A(T), B(N), A(N): most recent A has occ tag 0, older A tag 1.
+	w.Push(rec(0xA, true))
+	w.Push(rec(0xB, false))
+	w.Push(rec(0xA, false))
+	got := collectRefs(w)
+	cases := []struct {
+		ref   Ref
+		taken bool
+	}{
+		{Ref{0xA, Occurrence, 0}, false}, // most recent A was not-taken
+		{Ref{0xA, Occurrence, 1}, true},  // older A was taken
+		{Ref{0xB, Occurrence, 0}, false},
+	}
+	for _, c := range cases {
+		taken, ok := got[c.ref]
+		if !ok {
+			t.Errorf("ref %v not emitted", c.ref)
+		} else if taken != c.taken {
+			t.Errorf("ref %v taken = %v, want %v", c.ref, taken, c.taken)
+		}
+	}
+	if _, ok := got[Ref{0xA, Occurrence, 2}]; ok {
+		t.Error("phantom occurrence tag 2 for A")
+	}
+}
+
+func TestVisitBackwardCountTags(t *testing.T) {
+	w := NewWindow(8)
+	// Stream (oldest→newest): X(T), back(T), Y(N), back(T), Z(T).
+	// Backward tags (count of taken backward branches more recent than
+	// the entry): Z:0, the newest back:0, Y:1, older back:1, X:2.
+	w.Push(rec(0x1, true))   // X
+	w.Push(backTaken(0x100)) // loop branch
+	w.Push(rec(0x2, false))  // Y
+	w.Push(backTaken(0x100)) // loop branch again
+	w.Push(rec(0x3, true))   // Z
+	got := collectRefs(w)
+	cases := []struct {
+		ref   Ref
+		taken bool
+	}{
+		{Ref{0x3, BackwardCount, 0}, true},
+		{Ref{0x100, BackwardCount, 0}, true},
+		{Ref{0x2, BackwardCount, 1}, false},
+		{Ref{0x100, BackwardCount, 1}, true},
+		{Ref{0x1, BackwardCount, 2}, true},
+	}
+	for _, c := range cases {
+		taken, ok := got[c.ref]
+		if !ok {
+			t.Errorf("ref %v not emitted", c.ref)
+		} else if taken != c.taken {
+			t.Errorf("ref %v taken = %v, want %v", c.ref, taken, c.taken)
+		}
+	}
+}
+
+func TestVisitNotTakenBackwardDoesNotCount(t *testing.T) {
+	w := NewWindow(4)
+	w.Push(rec(0x1, true))
+	w.Push(trace.Record{PC: 0x100, Taken: false, Backward: true}) // not taken
+	w.Push(rec(0x2, true))
+	got := collectRefs(w)
+	// A not-taken backward branch closes no iteration: X keeps tag 0.
+	if _, ok := got[Ref{0x1, BackwardCount, 0}]; !ok {
+		t.Error("not-taken backward branch must not advance the iteration count")
+	}
+}
+
+func TestVisitTagOverflowSkipped(t *testing.T) {
+	// More instances than MaxTag+1: the excess must be silently
+	// unnameable, not emitted with wrapped tags.
+	w := NewWindow(MaxTag + 9)
+	for i := 0; i < MaxTag+9; i++ {
+		w.Push(backTaken(0xA)) // same PC, all taken backward
+	}
+	count := 0
+	w.Visit(func(ref Ref, taken bool) bool {
+		if ref.Tag > MaxTag {
+			t.Errorf("emitted over-limit tag %v", ref)
+		}
+		count++
+		return true
+	})
+	// Tags 0..MaxTag for each scheme: (MaxTag+1)*2 emissions.
+	if want := (MaxTag + 1) * 2; count != want {
+		t.Errorf("emitted %d refs, want %d", count, want)
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	w := NewWindow(8)
+	for i := 0; i < 8; i++ {
+		w.Push(rec(trace.Addr(i), true))
+	}
+	count := 0
+	w.Visit(func(ref Ref, taken bool) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Visit did not stop early: %d emissions", count)
+	}
+}
+
+func TestVisitDuplicateBackwardRefSuppressed(t *testing.T) {
+	// Same PC twice within one iteration (no backward branch between):
+	// only the most recent instance owns the (PC, back0) ref.
+	w := NewWindow(8)
+	w.Push(rec(0xA, true))  // older instance
+	w.Push(rec(0xA, false)) // newer instance
+	emitted := 0
+	w.Visit(func(ref Ref, taken bool) bool {
+		if ref == (Ref{0xA, BackwardCount, 0}) {
+			emitted++
+			if taken {
+				t.Error("duplicate backward ref resolved to the older instance")
+			}
+		}
+		return true
+	})
+	if emitted != 1 {
+		t.Errorf("backward ref emitted %d times, want 1", emitted)
+	}
+}
+
+func TestStatesResolution(t *testing.T) {
+	w := NewWindow(8)
+	w.Push(rec(0xA, true))
+	w.Push(rec(0xB, false))
+	refs := []Ref{
+		{0xA, Occurrence, 0},
+		{0xB, Occurrence, 0},
+		{0xC, Occurrence, 0}, // absent
+		{0xA, Occurrence, 1}, // absent (only one A)
+	}
+	states := make([]State, len(refs))
+	w.States(refs, states)
+	want := []State{StateTaken, StateNotTaken, StateAbsent, StateAbsent}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Errorf("state[%d] = %v, want %v", i, states[i], want[i])
+		}
+	}
+}
+
+func TestStatesMostRecentMatchWins(t *testing.T) {
+	// Two instances of PC 0xA with the same backward tag (no backward
+	// branches in between): the most recent one's outcome must win.
+	w := NewWindow(8)
+	w.Push(rec(0xA, true))  // older, tag back0
+	w.Push(rec(0xA, false)) // newer, tag back0 too
+	refs := []Ref{{0xA, BackwardCount, 0}}
+	states := make([]State, 1)
+	w.States(refs, states)
+	if states[0] != StateNotTaken {
+		t.Errorf("state = %v, want most recent (not-taken)", states[0])
+	}
+}
+
+func TestStatesWindowBoundary(t *testing.T) {
+	// A correlated branch pushed out of the window becomes absent.
+	w := NewWindow(2)
+	w.Push(rec(0xA, true))
+	w.Push(rec(0xB, true))
+	states := make([]State, 1)
+	w.States([]Ref{{0xA, Occurrence, 0}}, states)
+	if states[0] != StateTaken {
+		t.Fatalf("pre-evict state = %v", states[0])
+	}
+	w.Push(rec(0xC, true)) // evicts A
+	w.States([]Ref{{0xA, Occurrence, 0}}, states)
+	if states[0] != StateAbsent {
+		t.Errorf("post-evict state = %v, want absent", states[0])
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Occurrence.String() != "occ" || BackwardCount.String() != "back" {
+		t.Error("Scheme strings wrong")
+	}
+	if Scheme(9).String() != "scheme(9)" {
+		t.Errorf("unknown scheme: %q", Scheme(9).String())
+	}
+	if StateTaken.String() != "T" || StateNotTaken.String() != "N" || StateAbsent.String() != "-" {
+		t.Error("State strings wrong")
+	}
+	if State(9).String() != "?" {
+		t.Error("unknown state string")
+	}
+	r := Ref{PC: 0x4000, Scheme: Occurrence, Tag: 2}
+	if r.String() != "0x4000/occ2" {
+		t.Errorf("Ref string = %q", r.String())
+	}
+}

@@ -1,0 +1,164 @@
+// Package entropy quantifies branch predictability information-
+// theoretically: for each static branch, the best accuracy any *fixed*
+// predictor indexed by a given context (the branch's own last-k outcomes,
+// or the global last-k outcomes) could achieve on the trace — i.e. the
+// accuracy of an oracle-filled static PHT — plus the residual conditional
+// entropy. The ideal static predictor is exactly the k=0 ceiling, and a
+// profiled (statically-filled) PHT predictor meets the ceiling at its
+// history length. Adaptive 2-bit-counter predictors usually sit below
+// the ceiling (training cost) but can exceed it when the context→outcome
+// mapping drifts over program phases, which a static table cannot track;
+// comparing the two therefore separates training cost from phase drift.
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"branchcorr/internal/trace"
+)
+
+// MaxContext bounds the history length to keep context tables exact.
+const MaxContext = 16
+
+// Ceiling is one branch's predictability ceiling at each history length.
+type Ceiling struct {
+	// Best[k] is the maximum achievable accuracy over the trace for a
+	// predictor that sees exactly the k-outcome context, k in [0, K].
+	// Best[0] is the ideal-static accuracy.
+	Best []float64
+	// Bits[k] is the residual conditional entropy H(outcome | context)
+	// in bits (0 = fully determined).
+	Bits []float64
+	// Total is the branch's dynamic execution count.
+	Total int
+}
+
+// Result maps branches to ceilings and carries trace-wide aggregates.
+type Result struct {
+	PerBranch map[trace.Addr]*Ceiling
+	// Weighted[k] is the dynamic-weighted average ceiling at history k.
+	Weighted []float64
+	// WeightedBits[k] is the dynamic-weighted residual entropy.
+	WeightedBits []float64
+}
+
+// binEntropy returns the binary entropy (bits) of probability p.
+func binEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// kind selects the conditioning context.
+type kind int
+
+const (
+	localKind kind = iota
+	globalKind
+)
+
+// ceilings computes per-branch ceilings with the chosen context kind.
+func ceilings(t *trace.Trace, maxK int, k kind) *Result {
+	if maxK < 0 || maxK > MaxContext {
+		panic(fmt.Sprintf("entropy: history length %d out of range [0,%d]", maxK, MaxContext))
+	}
+	// counts[k][branch][context] = [notTaken, taken]
+	type ctxCounts map[uint32]*[2]int
+	counts := make([]map[trace.Addr]ctxCounts, maxK+1)
+	for i := range counts {
+		counts[i] = make(map[trace.Addr]ctxCounts)
+	}
+	localHist := make(map[trace.Addr]uint32)
+	globalHist := uint32(0)
+	totals := make(map[trace.Addr]int)
+	for _, r := range t.Records() {
+		totals[r.PC]++
+		var hist uint32
+		if k == localKind {
+			hist = localHist[r.PC]
+		} else {
+			hist = globalHist
+		}
+		for kk := 0; kk <= maxK; kk++ {
+			ctx := hist & (1<<kk - 1)
+			m := counts[kk][r.PC]
+			if m == nil {
+				m = make(ctxCounts)
+				counts[kk][r.PC] = m
+			}
+			c := m[ctx]
+			if c == nil {
+				c = &[2]int{}
+				m[ctx] = c
+			}
+			if r.Taken {
+				c[1]++
+			} else {
+				c[0]++
+			}
+		}
+		bit := uint32(0)
+		if r.Taken {
+			bit = 1
+		}
+		if k == localKind {
+			localHist[r.PC] = localHist[r.PC]<<1 | bit
+		} else {
+			globalHist = globalHist<<1 | bit
+		}
+	}
+
+	res := &Result{
+		PerBranch:    make(map[trace.Addr]*Ceiling, len(totals)),
+		Weighted:     make([]float64, maxK+1),
+		WeightedBits: make([]float64, maxK+1),
+	}
+	grand := 0
+	for pc, total := range totals {
+		res.PerBranch[pc] = &Ceiling{
+			Best:  make([]float64, maxK+1),
+			Bits:  make([]float64, maxK+1),
+			Total: total,
+		}
+		grand += total
+	}
+	for kk := 0; kk <= maxK; kk++ {
+		for pc, m := range counts[kk] {
+			c := res.PerBranch[pc]
+			best := 0
+			bits := 0.0
+			for _, cnt := range m {
+				maj := cnt[0]
+				if cnt[1] > maj {
+					maj = cnt[1]
+				}
+				best += maj
+				n := cnt[0] + cnt[1]
+				bits += float64(n) * binEntropy(float64(cnt[1])/float64(n))
+			}
+			c.Best[kk] = float64(best) / float64(c.Total)
+			c.Bits[kk] = bits / float64(c.Total)
+			res.Weighted[kk] += float64(best)
+			res.WeightedBits[kk] += bits
+		}
+		res.Weighted[kk] /= float64(grand)
+		res.WeightedBits[kk] /= float64(grand)
+	}
+	return res
+}
+
+// LocalCeilings computes, per branch, the best accuracy of a statically
+// filled table seeing the branch's own last-k outcomes (the fixed-table
+// ceiling for the paper's per-address predictability, section 4).
+func LocalCeilings(t *trace.Trace, maxK int) *Result {
+	return ceilings(t, maxK, localKind)
+}
+
+// GlobalCeilings computes, per branch, the best accuracy of a statically
+// filled table seeing the global last-k outcomes (the fixed-table ceiling
+// for the paper's global correlation, section 3).
+func GlobalCeilings(t *trace.Trace, maxK int) *Result {
+	return ceilings(t, maxK, globalKind)
+}

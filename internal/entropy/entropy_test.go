@@ -1,0 +1,119 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+func rec(pc trace.Addr, taken bool) trace.Record {
+	return trace.Record{PC: pc, Taken: taken}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBinEntropy(t *testing.T) {
+	if !almost(binEntropy(0.5), 1) {
+		t.Errorf("H(0.5) = %v, want 1", binEntropy(0.5))
+	}
+	if binEntropy(0) != 0 || binEntropy(1) != 0 {
+		t.Error("H(0)/H(1) should be 0")
+	}
+	if h := binEntropy(0.25); !almost(h, 0.25*2+0.75*math.Log2(4.0/3)) {
+		t.Errorf("H(0.25) = %v", h)
+	}
+}
+
+func TestLocalCeilingBiasedBranch(t *testing.T) {
+	tr := trace.New("b", 0)
+	for i := 0; i < 1000; i++ {
+		tr.Append(rec(0x10, i%10 != 0)) // 90% taken, pattern of period 10
+	}
+	res := LocalCeilings(tr, 10)
+	c := res.PerBranch[0x10]
+	if !almost(c.Best[0], 0.9) {
+		t.Errorf("k=0 ceiling = %v, want 0.9 (ideal static)", c.Best[0])
+	}
+	// With 10 bits of self-history the period-10 pattern is fully
+	// determined (modulo warmup contexts).
+	if c.Best[10] < 0.99 {
+		t.Errorf("k=10 ceiling = %v, want ~1", c.Best[10])
+	}
+	if c.Bits[10] > 0.05 {
+		t.Errorf("k=10 residual entropy = %v, want ~0", c.Bits[10])
+	}
+	if c.Total != 1000 {
+		t.Errorf("Total = %d", c.Total)
+	}
+}
+
+func TestCeilingMonotoneInHistory(t *testing.T) {
+	// More context can never reduce the achievable accuracy.
+	tr := trace.New("m", 0)
+	seed := uint32(3)
+	for i := 0; i < 5000; i++ {
+		seed = seed*1664525 + 1013904223
+		tr.Append(rec(trace.Addr(0x10+(i%3)*4), seed&0x10000 != 0 || i%4 == 0))
+	}
+	res := LocalCeilings(tr, 8)
+	for pc, c := range res.PerBranch {
+		for k := 1; k < len(c.Best); k++ {
+			if c.Best[k] < c.Best[k-1]-1e-12 {
+				t.Fatalf("branch 0x%x: ceiling fell from k=%d (%v) to k=%d (%v)",
+					uint32(pc), k-1, c.Best[k-1], k, c.Best[k])
+			}
+			if c.Bits[k] > c.Bits[k-1]+1e-12 {
+				t.Fatalf("branch 0x%x: entropy rose with more context", uint32(pc))
+			}
+		}
+	}
+	for k := 1; k < len(res.Weighted); k++ {
+		if res.Weighted[k] < res.Weighted[k-1]-1e-12 {
+			t.Fatal("weighted ceiling not monotone")
+		}
+	}
+}
+
+func TestGlobalCeilingSeesCorrelation(t *testing.T) {
+	// X copies Y: X's local ceiling at k=2 stays near 0.5 (iid), its
+	// global ceiling at k=1 is ~1 (the previous global outcome IS Y).
+	tr := trace.New("g", 0)
+	seed := uint32(9)
+	for i := 0; i < 8000; i++ {
+		seed = seed*1664525 + 1013904223
+		y := seed&0x8000 != 0
+		tr.Append(rec(0x100, y))
+		tr.Append(rec(0x200, y))
+	}
+	local := LocalCeilings(tr, 2)
+	global := GlobalCeilings(tr, 1)
+	if l := local.PerBranch[0x200].Best[2]; l > 0.62 {
+		t.Errorf("local ceiling on X = %v, want near 0.5", l)
+	}
+	if g := global.PerBranch[0x200].Best[1]; g < 0.99 {
+		t.Errorf("global ceiling on X = %v, want ~1", g)
+	}
+}
+
+func TestCeilingIdealStaticEqualsK0(t *testing.T) {
+	// Weighted[0] must equal the ideal static predictor's accuracy.
+	tr := trace.New("s", 0)
+	for i := 0; i < 100; i++ {
+		tr.Append(rec(0x10, i%4 != 0)) // 75% taken
+		tr.Append(rec(0x20, false))    // always not-taken
+	}
+	res := LocalCeilings(tr, 0)
+	if !almost(res.Weighted[0], (75.0+100)/200) {
+		t.Errorf("weighted k=0 = %v, want 0.875", res.Weighted[0])
+	}
+}
+
+func TestCeilingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LocalCeilings(trace.New("x", 0), MaxContext+1)
+}

@@ -1,0 +1,217 @@
+// Package experiments reproduces every table and figure of Evers, Patel,
+// Chappell & Patt (ISCA 1998): one driver per exhibit, all running over
+// the synthetic SPECint95 stand-in traces. Drivers share a Suite so that
+// expensive intermediates (oracle selections, classifications, baseline
+// predictor runs) are computed once per trace and reused across exhibits,
+// exactly as the paper's own experiments share one simulation
+// infrastructure.
+package experiments
+
+import (
+	"fmt"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/core"
+	"branchcorr/internal/sim"
+	"branchcorr/internal/trace"
+	"branchcorr/internal/workloads"
+)
+
+// Config parameterizes the whole experiment suite. Zero values select the
+// paper-matching defaults documented in DESIGN.md §5.
+type Config struct {
+	// Length is the number of dynamic conditional branches per workload
+	// trace (default 1,000,000).
+	Length int
+	// Workloads restricts the suite to a subset of benchmark names;
+	// empty means all eight.
+	Workloads []string
+	// GshareBits is the gshare/IF-gshare global history length
+	// (default 16, the paper's "16 branch history").
+	GshareBits uint
+	// PAs geometry (defaults 12-bit local history, 2^10-entry BHT, 2^6
+	// PHTs).
+	PAsHistBits, PAsBHTBits, PAsPHTBits uint
+	// IFPAsBits is the interference-free PAs local history length
+	// (default 16).
+	IFPAsBits uint
+	// Oracle configures the selective-history oracle (default window 16,
+	// beam 16).
+	Oracle core.OracleConfig
+	// Fig5Windows are the history lengths swept by Figure 5 (default
+	// 8..32 step 4).
+	Fig5Windows []int
+	// Fig9Benchmarks are the benchmarks plotted in Figure 9 (default gcc
+	// and perl, as in the paper).
+	Fig9Benchmarks []string
+	// Fig9Percentiles are the x-axis points of Figure 9 (default 0..100
+	// step 5).
+	Fig9Percentiles []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Length == 0 {
+		c.Length = 1_000_000
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workloads.Names()
+	}
+	if c.GshareBits == 0 {
+		c.GshareBits = 16
+	}
+	if c.PAsHistBits == 0 {
+		c.PAsHistBits = 12
+	}
+	if c.PAsBHTBits == 0 {
+		c.PAsBHTBits = 10
+	}
+	if c.PAsPHTBits == 0 {
+		c.PAsPHTBits = 6
+	}
+	if c.IFPAsBits == 0 {
+		c.IFPAsBits = 16
+	}
+	if c.Oracle.WindowLen == 0 {
+		c.Oracle.WindowLen = 16
+	}
+	if len(c.Fig5Windows) == 0 {
+		c.Fig5Windows = []int{8, 12, 16, 20, 24, 28, 32}
+	}
+	if len(c.Fig9Benchmarks) == 0 {
+		c.Fig9Benchmarks = []string{"gcc", "perl"}
+	}
+	if len(c.Fig9Percentiles) == 0 {
+		for p := 0.0; p <= 100; p += 5 {
+			c.Fig9Percentiles = append(c.Fig9Percentiles, p)
+		}
+	}
+	return c
+}
+
+// globalBundle holds the per-trace results every global-correlation
+// exhibit shares: oracle-selected selective predictors of sizes 1–3, the
+// interference-free gshare, and the real gshare.
+type globalBundle struct {
+	sel  [core.MaxSelectiveRefs + 1]*sim.Result
+	ifg  *sim.Result
+	g    *sim.Result
+	sels *core.Selections // the oracle's ref choices, for reuse
+}
+
+// baseBundle holds the baseline predictor runs shared by the section 4
+// and 5 exhibits.
+type baseBundle struct {
+	static *sim.Result
+	gshare *sim.Result
+	pas    *sim.Result
+}
+
+// Suite generates the workload traces once and computes shared
+// intermediates lazily. It is not safe for concurrent use.
+type Suite struct {
+	cfg     Config
+	traces  []*trace.Trace
+	global  map[string]*globalBundle
+	classes map[string]*core.PAClassification
+	base    map[string]*baseBundle
+	log     func(format string, args ...any)
+}
+
+// NewSuite generates traces for the configured workloads and returns a
+// ready suite. logf, if non-nil, receives progress lines (trace
+// generation and oracle passes are the slow steps).
+func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error) {
+	cfg = cfg.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Suite{
+		cfg:     cfg,
+		global:  make(map[string]*globalBundle),
+		classes: make(map[string]*core.PAClassification),
+		base:    make(map[string]*baseBundle),
+		log:     logf,
+	}
+	for _, name := range cfg.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		logf("generating %s (%d branches)", name, cfg.Length)
+		s.traces = append(s.traces, w.Generate(cfg.Length))
+	}
+	return s, nil
+}
+
+// Config returns the (defaulted) configuration the suite runs with.
+func (s *Suite) Config() Config { return s.cfg }
+
+// Traces returns the generated traces in workload order.
+func (s *Suite) Traces() []*trace.Trace { return s.traces }
+
+// Names returns the benchmark names in suite order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.traces))
+	for i, tr := range s.traces {
+		out[i] = tr.Name()
+	}
+	return out
+}
+
+func (s *Suite) newGshare() bp.Predictor { return bp.NewGshare(s.cfg.GshareBits) }
+func (s *Suite) newIFGshare() bp.Predictor {
+	return bp.NewIFGshare(s.cfg.GshareBits)
+}
+func (s *Suite) newPAs() bp.Predictor {
+	return bp.NewPAs(s.cfg.PAsHistBits, s.cfg.PAsBHTBits, s.cfg.PAsPHTBits)
+}
+
+// globalFor computes (once) the selective/IF-gshare/gshare results for a
+// trace at the configured oracle window.
+func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
+	if b, ok := s.global[tr.Name()]; ok {
+		return b
+	}
+	s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
+	sels := core.BuildSelective(tr, s.cfg.Oracle)
+	preds := []bp.Predictor{
+		core.NewSelective(fmt.Sprintf("IF 1-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[1]),
+		core.NewSelective(fmt.Sprintf("IF 2-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[2]),
+		core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[3]),
+		s.newIFGshare(),
+		s.newGshare(),
+	}
+	s.log("%s: simulating selective + gshare predictors", tr.Name())
+	rs := sim.Run(tr, preds...)
+	b := &globalBundle{ifg: rs[3], g: rs[4], sels: sels}
+	b.sel[1], b.sel[2], b.sel[3] = rs[0], rs[1], rs[2]
+	s.global[tr.Name()] = b
+	return b
+}
+
+// classFor computes (once) the per-address classification of a trace.
+func (s *Suite) classFor(tr *trace.Trace) *core.PAClassification {
+	if c, ok := s.classes[tr.Name()]; ok {
+		return c
+	}
+	s.log("%s: per-address classification", tr.Name())
+	c := core.ClassifyPerAddress(tr, core.ClassifyConfig{IFPAsHistoryBits: s.cfg.IFPAsBits})
+	s.classes[tr.Name()] = c
+	return c
+}
+
+// baseFor computes (once) the ideal-static, gshare, and PAs baselines.
+func (s *Suite) baseFor(tr *trace.Trace) *baseBundle {
+	if b, ok := s.base[tr.Name()]; ok {
+		return b
+	}
+	s.log("%s: baseline predictors (static, gshare, PAs)", tr.Name())
+	stats := trace.Summarize(tr)
+	rs := sim.Run(tr, bp.NewIdealStatic(stats), s.newGshare(), s.newPAs())
+	b := &baseBundle{static: rs[0], gshare: rs[1], pas: rs[2]}
+	s.base[tr.Name()] = b
+	return b
+}
+
+// pct formats a fraction as a percentage with two decimals.
+func pct(v float64) string { return fmt.Sprintf("%.2f", 100*v) }

@@ -1,0 +1,98 @@
+// Package perfmodel translates branch-prediction accuracy into pipeline
+// performance, quantifying the paper's motivation: "pipeline flushes due
+// to branch mispredictions is one of the most serious problems facing the
+// designer of a deeply pipelined, superscalar processor." The model is
+// the standard analytic one: a machine with a given base IPC loses a
+// fixed flush penalty per mispredicted branch.
+package perfmodel
+
+import "fmt"
+
+// Machine describes the modeled pipeline.
+type Machine struct {
+	// BaseCPI is the cycles per instruction with perfect branch
+	// prediction (1/width for an ideal superscalar).
+	BaseCPI float64
+	// BranchFraction is the fraction of instructions that are
+	// conditional branches (~0.15-0.20 for SPECint).
+	BranchFraction float64
+	// MispredictPenalty is the pipeline-flush cost in cycles (the
+	// fetch-to-execute depth; ~4-5 for a 1998 machine, 15-20 for a
+	// deeper one).
+	MispredictPenalty float64
+}
+
+// DefaultMachine models a 4-wide, 5-stage-penalty machine of the paper's
+// era.
+var DefaultMachine = Machine{
+	BaseCPI:           0.25,
+	BranchFraction:    0.16,
+	MispredictPenalty: 5,
+}
+
+// Deep models a deeply pipelined machine where prediction accuracy
+// matters far more (the trend the paper's introduction anticipates).
+var Deep = Machine{
+	BaseCPI:           0.25,
+	BranchFraction:    0.16,
+	MispredictPenalty: 18,
+}
+
+// validate panics on nonsensical parameters; the model is simple enough
+// that misuse should fail loudly.
+func (m Machine) validate() {
+	if m.BaseCPI <= 0 || m.BranchFraction < 0 || m.BranchFraction > 1 || m.MispredictPenalty < 0 {
+		panic(fmt.Sprintf("perfmodel: invalid machine %+v", m))
+	}
+}
+
+// CPI returns cycles per instruction at the given branch prediction
+// accuracy (in [0,1]).
+func (m Machine) CPI(accuracy float64) float64 {
+	m.validate()
+	if accuracy < 0 || accuracy > 1 {
+		panic(fmt.Sprintf("perfmodel: accuracy %v out of range", accuracy))
+	}
+	mispredictsPerInst := m.BranchFraction * (1 - accuracy)
+	return m.BaseCPI + mispredictsPerInst*m.MispredictPenalty
+}
+
+// IPC returns instructions per cycle at the given accuracy.
+func (m Machine) IPC(accuracy float64) float64 {
+	return 1 / m.CPI(accuracy)
+}
+
+// Speedup returns the relative performance of running at accuracy `to`
+// versus accuracy `from` (e.g. Speedup(0.92, 0.96) ≈ how much faster a
+// 96%-accurate predictor makes this machine than a 92% one).
+func (m Machine) Speedup(from, to float64) float64 {
+	return m.CPI(from) / m.CPI(to)
+}
+
+// MispredictsPerKI returns mispredictions per 1000 instructions (MPKI),
+// the metric hardware papers quote alongside accuracy.
+func (m Machine) MispredictsPerKI(accuracy float64) float64 {
+	m.validate()
+	if accuracy < 0 || accuracy > 1 {
+		panic(fmt.Sprintf("perfmodel: accuracy %v out of range", accuracy))
+	}
+	return 1000 * m.BranchFraction * (1 - accuracy)
+}
+
+// AccuracyForCPI inverts CPI: the prediction accuracy needed to reach the
+// target CPI on this machine (clamped to [0,1]; returns 1 if even perfect
+// prediction cannot reach it... i.e. target below BaseCPI).
+func (m Machine) AccuracyForCPI(targetCPI float64) float64 {
+	m.validate()
+	if m.BranchFraction == 0 || m.MispredictPenalty == 0 {
+		return 1
+	}
+	acc := 1 - (targetCPI-m.BaseCPI)/(m.BranchFraction*m.MispredictPenalty)
+	if acc < 0 {
+		return 0
+	}
+	if acc > 1 {
+		return 1
+	}
+	return acc
+}

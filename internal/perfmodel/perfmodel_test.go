@@ -1,0 +1,98 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCPIPerfectPrediction(t *testing.T) {
+	m := Machine{BaseCPI: 0.25, BranchFraction: 0.2, MispredictPenalty: 10}
+	if got := m.CPI(1.0); !almost(got, 0.25) {
+		t.Errorf("CPI(1) = %v, want BaseCPI", got)
+	}
+}
+
+func TestCPIKnownValue(t *testing.T) {
+	m := Machine{BaseCPI: 0.25, BranchFraction: 0.2, MispredictPenalty: 10}
+	// 90% accuracy: 0.2*0.1 = 0.02 mispredicts/inst * 10 cycles = 0.2.
+	if got := m.CPI(0.9); !almost(got, 0.45) {
+		t.Errorf("CPI(0.9) = %v, want 0.45", got)
+	}
+	if got := m.IPC(0.9); !almost(got, 1/0.45) {
+		t.Errorf("IPC(0.9) = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	m := DefaultMachine
+	s := m.Speedup(0.92, 0.96)
+	if s <= 1 {
+		t.Errorf("Speedup(0.92->0.96) = %v, want > 1", s)
+	}
+	if got := m.Speedup(0.95, 0.95); !almost(got, 1) {
+		t.Errorf("self speedup = %v", got)
+	}
+	// A deeper pipeline must profit more from the same accuracy gain.
+	if Deep.Speedup(0.92, 0.96) <= s {
+		t.Error("deep pipeline should gain more from accuracy")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	m := Machine{BaseCPI: 0.25, BranchFraction: 0.16, MispredictPenalty: 5}
+	// 95% accuracy: 0.16 * 0.05 * 1000 = 8 MPKI.
+	if got := m.MispredictsPerKI(0.95); !almost(got, 8) {
+		t.Errorf("MPKI(0.95) = %v, want 8", got)
+	}
+	if got := m.MispredictsPerKI(1.0); !almost(got, 0) {
+		t.Errorf("MPKI(1) = %v", got)
+	}
+}
+
+func TestAccuracyForCPIInvertsCPI(t *testing.T) {
+	m := DefaultMachine
+	f := func(raw uint8) bool {
+		acc := 0.5 + float64(raw)/512 // in [0.5, ~1.0)
+		return almost(m.AccuracyForCPI(m.CPI(acc)), acc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := m.AccuracyForCPI(0.01); got != 1 {
+		t.Errorf("unreachable target should clamp to 1, got %v", got)
+	}
+	if got := m.AccuracyForCPI(100); got != 0 {
+		t.Errorf("trivial target should clamp to 0, got %v", got)
+	}
+}
+
+func TestCPIMonotone(t *testing.T) {
+	m := DefaultMachine
+	prev := math.Inf(1)
+	for acc := 0.0; acc <= 1.0; acc += 0.05 {
+		c := m.CPI(acc)
+		if c > prev {
+			t.Fatalf("CPI not monotone at %v", acc)
+		}
+		prev = c
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { Machine{}.CPI(0.5) })
+	mustPanic(func() { DefaultMachine.CPI(1.5) })
+	mustPanic(func() { DefaultMachine.MispredictsPerKI(-0.1) })
+	mustPanic(func() { Machine{BaseCPI: 0.25, BranchFraction: 2}.CPI(0.5) })
+}

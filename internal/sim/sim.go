@@ -1,0 +1,281 @@
+// Package sim runs predictors over branch traces and accounts accuracy,
+// both overall and per static branch. Per-branch accounting is the
+// workhorse of the paper: every "hypothetical predictor" in sections 3.6.3
+// and 4.2.2 is a per-static-branch combination of two real predictors'
+// accuracies, and the classifications of section 5 compare per-branch
+// correct counts across predictors.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/trace"
+)
+
+// BranchAcc is the prediction record of one static branch under one
+// predictor.
+type BranchAcc struct {
+	Correct int
+	Total   int
+}
+
+// Accuracy returns the branch's prediction accuracy in [0,1].
+func (b BranchAcc) Accuracy() float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return float64(b.Correct) / float64(b.Total)
+}
+
+// Result is the outcome of running one predictor over one trace.
+type Result struct {
+	Predictor string
+	Trace     string
+	Correct   int
+	Total     int
+	PerBranch map[trace.Addr]*BranchAcc
+}
+
+// Accuracy returns the overall prediction accuracy in [0,1].
+func (r *Result) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+// Mispredictions returns the number of mispredicted dynamic branches.
+func (r *Result) Mispredictions() int { return r.Total - r.Correct }
+
+// Branch returns the accounting entry for pc (zero value if the branch
+// never executed).
+func (r *Result) Branch(pc trace.Addr) BranchAcc {
+	if b := r.PerBranch[pc]; b != nil {
+		return *b
+	}
+	return BranchAcc{}
+}
+
+// String summarizes the result, e.g. "gshare(16) on gcc: 92.27% (25903086 branches)".
+func (r *Result) String() string {
+	return fmt.Sprintf("%s on %s: %.2f%% (%d branches)",
+		r.Predictor, r.Trace, 100*r.Accuracy(), r.Total)
+}
+
+// newResult allocates an empty result.
+func newResult(predictor, traceName string) *Result {
+	return &Result{
+		Predictor: predictor,
+		Trace:     traceName,
+		PerBranch: make(map[trace.Addr]*BranchAcc),
+	}
+}
+
+// record tallies one prediction.
+func (r *Result) record(pc trace.Addr, correct bool) {
+	r.Total++
+	b := r.PerBranch[pc]
+	if b == nil {
+		b = &BranchAcc{}
+		r.PerBranch[pc] = b
+	}
+	b.Total++
+	if correct {
+		r.Correct++
+		b.Correct++
+	}
+}
+
+// Run drives every predictor over the trace in a single pass (each
+// predictor sees the identical committed branch stream) and returns one
+// Result per predictor, in argument order.
+func Run(t *trace.Trace, predictors ...bp.Predictor) []*Result {
+	results := make([]*Result, len(predictors))
+	for i, p := range predictors {
+		results[i] = newResult(p.Name(), t.Name())
+	}
+	for _, rec := range t.Records() {
+		for i, p := range predictors {
+			correct := p.Predict(rec) == rec.Taken
+			p.Update(rec)
+			results[i].record(rec.PC, correct)
+		}
+	}
+	return results
+}
+
+// RunOne is a convenience wrapper around Run for a single predictor.
+func RunOne(t *trace.Trace, p bp.Predictor) *Result {
+	return Run(t, p)[0]
+}
+
+// Timeline is a predictor's accuracy over consecutive equal-size spans
+// of a trace, exposing warmup/training behavior: the first buckets show
+// the cold predictor, the tail its steady state.
+type Timeline struct {
+	Predictor string
+	Bucket    int       // dynamic branches per bucket
+	Accuracy  []float64 // per-bucket accuracy (last bucket may be partial)
+}
+
+// RunTimeline drives the predictors over the trace, recording accuracy
+// per bucket of bucketSize dynamic branches.
+func RunTimeline(t *trace.Trace, bucketSize int, predictors ...bp.Predictor) []*Timeline {
+	if bucketSize <= 0 {
+		panic("sim: bucket size must be positive")
+	}
+	out := make([]*Timeline, len(predictors))
+	correct := make([]int, len(predictors))
+	for i, p := range predictors {
+		out[i] = &Timeline{Predictor: p.Name(), Bucket: bucketSize}
+	}
+	n := 0
+	flush := func(size int) {
+		if size == 0 {
+			return
+		}
+		for i := range predictors {
+			out[i].Accuracy = append(out[i].Accuracy, float64(correct[i])/float64(size))
+			correct[i] = 0
+		}
+	}
+	for _, rec := range t.Records() {
+		for i, p := range predictors {
+			if p.Predict(rec) == rec.Taken {
+				correct[i]++
+			}
+			p.Update(rec)
+		}
+		n++
+		if n%bucketSize == 0 {
+			flush(bucketSize)
+		}
+	}
+	flush(n % bucketSize)
+	return out
+}
+
+// RunStream drives the predictors from a trace scanner, so on-disk
+// traces of any length simulate in constant memory. Results are
+// identical to Run over the equivalent in-memory trace.
+func RunStream(sc *trace.Scanner, predictors ...bp.Predictor) ([]*Result, error) {
+	results := make([]*Result, len(predictors))
+	for i, p := range predictors {
+		results[i] = newResult(p.Name(), sc.Name())
+	}
+	for sc.Scan() {
+		rec := sc.Record()
+		for i, p := range predictors {
+			correct := p.Predict(rec) == rec.Taken
+			p.Update(rec)
+			results[i].record(rec.PC, correct)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunConcurrent behaves exactly like Run but drives each predictor in
+// its own goroutine (predictors are independent, the trace is read-only).
+// Results are identical to Run's; use it when simulating several
+// expensive predictors over a long trace.
+func RunConcurrent(t *trace.Trace, predictors ...bp.Predictor) []*Result {
+	results := make([]*Result, len(predictors))
+	done := make(chan int, len(predictors))
+	for i, p := range predictors {
+		go func(i int, p bp.Predictor) {
+			res := newResult(p.Name(), t.Name())
+			for _, rec := range t.Records() {
+				correct := p.Predict(rec) == rec.Taken
+				p.Update(rec)
+				res.record(rec.PC, correct)
+			}
+			results[i] = res
+			done <- i
+		}(i, p)
+	}
+	for range predictors {
+		<-done
+	}
+	return results
+}
+
+// CombineMax builds the paper's hypothetical per-branch combiner: for
+// every static branch it uses whichever of a or b predicted that branch
+// more accurately (section 3.6.3's "gshare w/ Corr" uses the 1-branch
+// selective predictor where it beats gshare, else gshare). Both results
+// must come from the same trace; per-branch totals must agree.
+func CombineMax(name string, a, b *Result) *Result {
+	out := newResult(name, a.Trace)
+	for pc, ba := range a.PerBranch {
+		bb := b.Branch(pc)
+		best := ba.Correct
+		if bb.Correct > best {
+			best = bb.Correct
+		}
+		out.PerBranch[pc] = &BranchAcc{Correct: best, Total: ba.Total}
+		out.Correct += best
+		out.Total += ba.Total
+	}
+	return out
+}
+
+// CombineSelect builds a hypothetical combiner with an explicit per-branch
+// assignment: branches for which useA returns true score with a, all
+// others with b (section 4.2.2's "PAs w/ Loop" uses the loop predictor for
+// loop-class branches and PAs for the rest).
+func CombineSelect(name string, a, b *Result, useA func(trace.Addr) bool) *Result {
+	out := newResult(name, a.Trace)
+	for pc, ba := range a.PerBranch {
+		src := b.Branch(pc)
+		if useA(pc) {
+			src = *ba
+		}
+		out.PerBranch[pc] = &BranchAcc{Correct: src.Correct, Total: ba.Total}
+		out.Correct += src.Correct
+		out.Total += ba.Total
+	}
+	return out
+}
+
+// DiffPercentiles computes the Figure 9 curve: per static branch the
+// accuracy difference a−b (in percentage points), expanded over dynamic
+// executions and sorted ascending; it returns the difference at each
+// requested percentile of dynamic branches (percentiles in [0,100]).
+func DiffPercentiles(a, b *Result, percentiles []float64) []float64 {
+	type branchDiff struct {
+		diff   float64
+		weight int
+	}
+	diffs := make([]branchDiff, 0, len(a.PerBranch))
+	totalWeight := 0
+	for pc, ba := range a.PerBranch {
+		bb := b.Branch(pc)
+		d := 100 * (ba.Accuracy() - bb.Accuracy())
+		diffs = append(diffs, branchDiff{diff: d, weight: ba.Total})
+		totalWeight += ba.Total
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].diff < diffs[j].diff })
+	out := make([]float64, len(percentiles))
+	if totalWeight == 0 {
+		return out
+	}
+	for i, p := range percentiles {
+		target := p / 100 * float64(totalWeight)
+		cum := 0
+		val := diffs[len(diffs)-1].diff
+		for _, d := range diffs {
+			cum += d.weight
+			if float64(cum) >= target {
+				val = d.diff
+				break
+			}
+		}
+		out[i] = val
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package textplot renders the study's figures as ASCII charts: grouped
+// horizontal bars (Figure 4), line charts over a numeric x-axis (Figures
+// 5 and 9), and 100%-stacked distribution bars (Figures 6–8). Output is
+// deterministic and column-aligned so experiment logs diff cleanly.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GroupedBars renders one horizontal bar per (group, series) pair, scaled
+// between lo and hi (values are clamped). Typical use: accuracy bars per
+// benchmark and predictor.
+func GroupedBars(title string, groups, series []string, vals [][]float64, lo, hi float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := 40
+	labelW := 0
+	for _, s := range series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for gi, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g)
+		for si, s := range series {
+			v := vals[gi][si]
+			frac := (v - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			n := int(math.Round(frac * float64(width)))
+			fmt.Fprintf(&b, "  %-*s |%s%s| %6.2f%s\n",
+				labelW, s, strings.Repeat("#", n), strings.Repeat(" ", width-n), v, unit)
+		}
+	}
+	fmt.Fprintf(&b, "(bars span %.4g–%.4g%s)\n", lo, hi, unit)
+	return b.String()
+}
+
+// stackRunes are the fill characters per stacked series, in order.
+var stackRunes = []byte{'#', '=', '.', ':', '+', '~'}
+
+// StackedBars renders one 100%-stacked bar per group; vals[group][series]
+// are fractions summing to ~1.
+func StackedBars(title string, groups, series []string, vals [][]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := 50
+	labelW := 0
+	for _, g := range groups {
+		if len(g) > labelW {
+			labelW = len(g)
+		}
+	}
+	for gi, g := range groups {
+		fmt.Fprintf(&b, "%-*s |", labelW, g)
+		used := 0
+		for si := range series {
+			n := int(math.Round(vals[gi][si] * float64(width)))
+			if si == len(series)-1 {
+				n = width - used
+			}
+			if n < 0 {
+				n = 0
+			}
+			if used+n > width {
+				n = width - used
+			}
+			b.Write(bytesRepeat(stackRunes[si%len(stackRunes)], n))
+			used += n
+		}
+		b.WriteString("|")
+		for si, s := range series {
+			fmt.Fprintf(&b, " %c=%s %.1f%%", stackRunes[si%len(stackRunes)], s, 100*vals[gi][si])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// seriesMarks are the plot markers per line series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders series of y-values over shared x-values on a character
+// grid, with a legend. Typical use: accuracy vs history length (Figure 5)
+// and the percentile curve (Figure 9).
+func Lines(title string, xs []float64, series []string, ys [][]float64, yLabel string) string {
+	const (
+		gw = 64 // grid width
+		gh = 16 // grid height
+	)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(xs) == 0 || len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, row := range ys {
+		for _, v := range row {
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	grid := make([][]byte, gh)
+	for i := range grid {
+		grid[i] = bytesRepeat(' ', gw)
+	}
+	for si, row := range ys {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, v := range row {
+			cx := int(math.Round((xs[xi] - xMin) / (xMax - xMin) * float64(gw-1)))
+			cy := int(math.Round((yMax - v) / (yMax - yMin) * float64(gh-1)))
+			if cx >= 0 && cx < gw && cy >= 0 && cy < gh {
+				grid[cy][cx] = mark
+			}
+		}
+	}
+	for i, row := range grid {
+		yVal := yMax - (yMax-yMin)*float64(i)/float64(gh-1)
+		fmt.Fprintf(&b, "%8.2f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", gw))
+	fmt.Fprintf(&b, "%8s  %-10.4g%*.4g\n", "", xMin, gw-10, xMax)
+	b.WriteString("legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, " %c=%s", seriesMarks[si%len(seriesMarks)], s)
+	}
+	fmt.Fprintf(&b, "  (y: %s)\n", yLabel)
+	return b.String()
+}
+
+// Table renders a column-aligned table with a header row.
+func Table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("t", []string{"g1", "g2"}, []string{"a", "bb"},
+		[][]float64{{80, 90}, {85, 95}}, 80, 100, "%")
+	for _, want := range []string{"t\n", "g1", "g2", "a ", "bb", "80.00%", "95.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The min-value bar must be empty and the max-value bar full.
+	lines := strings.Split(out, "\n")
+	var minLine, maxLine string
+	for _, l := range lines {
+		if strings.Contains(l, "80.00%") {
+			minLine = l
+		}
+		if strings.Contains(l, "95.00%") {
+			maxLine = l
+		}
+	}
+	if strings.Count(minLine, "#") != 0 {
+		t.Errorf("min bar not empty: %q", minLine)
+	}
+	if strings.Count(maxLine, "#") < 25 {
+		t.Errorf("near-max bar too short: %q", maxLine)
+	}
+}
+
+func TestGroupedBarsClamps(t *testing.T) {
+	out := GroupedBars("t", []string{"g"}, []string{"s"},
+		[][]float64{{200}}, 0, 100, "")
+	if strings.Count(out, "#") != 40 {
+		t.Errorf("over-range value should clamp to full bar:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	out := StackedBars("dist", []string{"gcc"}, []string{"x", "y", "z"},
+		[][]float64{{0.5, 0.3, 0.2}})
+	if !strings.Contains(out, "#=x 50.0%") || !strings.Contains(out, "==y 30.0%") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	// Bar body must be exactly 50 chars wide between the pipes.
+	line := strings.Split(out, "\n")[1]
+	inner := line[strings.Index(line, "|")+1:]
+	inner = inner[:strings.Index(inner, "|")]
+	if len(inner) != 50 {
+		t.Errorf("stacked bar width = %d, want 50", len(inner))
+	}
+}
+
+func TestStackedBarsRounding(t *testing.T) {
+	// Fractions that don't divide the width evenly must still fill it.
+	out := StackedBars("d", []string{"g"}, []string{"a", "b", "c"},
+		[][]float64{{1.0 / 3, 1.0 / 3, 1.0 / 3}})
+	line := strings.Split(out, "\n")[1]
+	inner := line[strings.Index(line, "|")+1:]
+	inner = inner[:strings.Index(inner, "|")]
+	if len(inner) != 50 {
+		t.Errorf("width = %d, want 50", len(inner))
+	}
+}
+
+func TestLines(t *testing.T) {
+	out := Lines("acc", []float64{8, 16, 32}, []string{"gcc", "go"},
+		[][]float64{{90, 92, 93}, {80, 84, 85}}, "accuracy")
+	for _, want := range []string{"acc\n", "*=gcc", "o=go", "accuracy", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "*") < 3 { // legend star + plotted points
+		t.Errorf("series gcc not plotted:\n%s", out)
+	}
+}
+
+func TestLinesDegenerate(t *testing.T) {
+	if out := Lines("e", nil, nil, nil, "y"); !strings.Contains(out, "no data") {
+		t.Errorf("empty input: %q", out)
+	}
+	// Flat series and single x must not divide by zero.
+	out := Lines("flat", []float64{5}, []string{"s"}, [][]float64{{1}}, "y")
+	if !strings.Contains(out, "s") {
+		t.Errorf("flat plot broken:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("T", []string{"bench", "acc"}, [][]string{
+		{"gcc", "92.27"},
+		{"go", "84.11"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "bench") || !strings.HasPrefix(lines[2], "-----") {
+		t.Errorf("header layout wrong:\n%s", out)
+	}
+	// Columns aligned: "acc" starts at same offset in all rows.
+	off := strings.Index(lines[1], "acc")
+	for _, l := range lines[3:] {
+		if len(l) < off {
+			t.Errorf("row too short: %q", l)
+		}
+	}
+}

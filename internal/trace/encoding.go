@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("BTR1"):
+//
+//	magic   [4]byte  "BTR1"
+//	namelen uvarint
+//	name    [namelen]byte
+//	count   uvarint  number of records
+//	records ...
+//
+// Each record is a uvarint header followed, when the PC changed, by the PC
+// delta. The header packs:
+//
+//	bit 0: taken
+//	bit 1: backward
+//	bit 2: samePC (PC identical to previous record; no delta follows)
+//	bits 3+: unused, zero
+//
+// The PC delta is a zigzag-encoded signed difference from the previous
+// record's PC. Branch traces are highly local, so deltas are small; the
+// format typically spends ~1.5 bytes per record.
+
+var magic = [4]byte{'B', 'T', 'R', '1'}
+
+// ErrBadMagic is returned when decoding a stream that does not start with
+// the trace format magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a BTR1 trace)")
+
+const (
+	flagTaken    = 1 << 0
+	flagBackward = 1 << 1
+	flagSamePC   = 1 << 2
+)
+
+func zigzag(d int64) uint64   { return uint64((d << 1) ^ (d >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write encodes the trace to w in the binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.records))); err != nil {
+		return err
+	}
+	prev := Addr(0)
+	for _, r := range t.records {
+		hdr := uint64(0)
+		if r.Taken {
+			hdr |= flagTaken
+		}
+		if r.Backward {
+			hdr |= flagBackward
+		}
+		if r.PC == prev {
+			hdr |= flagSamePC
+		}
+		if err := putUvarint(hdr); err != nil {
+			return err
+		}
+		if r.PC != prev {
+			if err := putUvarint(zigzag(int64(r.PC) - int64(prev))); err != nil {
+				return err
+			}
+			prev = r.PC
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	t := New(string(nameBuf), int(count))
+	prev := Addr(0)
+	for i := uint64(0); i < count; i++ {
+		hdr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d header: %w", i, err)
+		}
+		rec := Record{
+			Taken:    hdr&flagTaken != 0,
+			Backward: hdr&flagBackward != 0,
+		}
+		if hdr&flagSamePC != 0 {
+			rec.PC = prev
+		} else {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d pc delta: %w", i, err)
+			}
+			rec.PC = Addr(int64(prev) + unzigzag(d))
+			prev = rec.PC
+		}
+		t.Append(rec)
+	}
+	return t, nil
+}

@@ -1,0 +1,37 @@
+package trace
+
+import "fmt"
+
+// Interleave merges traces round-robin in chunks of quantum records,
+// modeling the branch stream a predictor sees under context switching:
+// every quantum the machine "switches" to the next program. Predictor
+// state built for one program is polluted or evicted by the others —
+// the multiprogramming effect that amplifies the interference the paper
+// studies. Traces are consumed until all are exhausted (shorter traces
+// simply stop contributing).
+func Interleave(name string, quantum int, traces ...*Trace) *Trace {
+	if quantum <= 0 {
+		panic(fmt.Sprintf("trace: interleave quantum %d must be positive", quantum))
+	}
+	if len(traces) == 0 {
+		return New(name, 0)
+	}
+	total := 0
+	for _, t := range traces {
+		total += t.Len()
+	}
+	out := New(name, total)
+	offsets := make([]int, len(traces))
+	for out.Len() < total {
+		for i, t := range traces {
+			end := offsets[i] + quantum
+			if end > t.Len() {
+				end = t.Len()
+			}
+			for ; offsets[i] < end; offsets[i]++ {
+				out.Append(t.At(offsets[i]))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package trace provides the branch-trace substrate for the study: the
+// dynamic conditional-branch record type, in-memory traces, a compact
+// binary on-disk encoding with streaming reader/writer, and summary
+// statistics.
+//
+// A trace is the sequence of all dynamically executed conditional branches
+// of one workload run, in program order. Every analysis in this repository
+// is trace-driven, mirroring the simulation methodology of Evers et al.
+// (ISCA 1998), section 3.5.
+package trace
+
+import "fmt"
+
+// Addr identifies a static branch site. It plays the role of the branch
+// instruction's address in a real trace; synthetic workloads allocate
+// addresses from disjoint per-workload ranges with the customary 4-byte
+// instruction spacing.
+type Addr uint32
+
+// Record is one dynamically executed conditional branch.
+type Record struct {
+	// PC is the address of the static branch site.
+	PC Addr
+	// Taken reports the resolved direction.
+	Taken bool
+	// Backward reports whether the branch target precedes the branch
+	// (a loop-closing branch). It is a static property of the site, kept
+	// per record so streaming consumers need no side table. Backward
+	// branches drive the backward-count tagging scheme of section 3.2.
+	Backward bool
+}
+
+// String renders a record compactly, e.g. "0x4000 T" or "0x4010 N back".
+func (r Record) String() string {
+	dir := "N"
+	if r.Taken {
+		dir = "T"
+	}
+	if r.Backward {
+		return fmt.Sprintf("0x%x %s back", uint32(r.PC), dir)
+	}
+	return fmt.Sprintf("0x%x %s", uint32(r.PC), dir)
+}
+
+// Trace is an in-memory branch trace.
+type Trace struct {
+	name    string
+	records []Record
+}
+
+// New returns an empty trace with the given name (typically the workload
+// name) and capacity hint.
+func New(name string, capacity int) *Trace {
+	return &Trace{name: name, records: make([]Record, 0, capacity)}
+}
+
+// FromRecords wraps an existing record slice in a Trace. The slice is not
+// copied.
+func FromRecords(name string, recs []Record) *Trace {
+	return &Trace{name: name, records: recs}
+}
+
+// Name returns the trace's name.
+func (t *Trace) Name() string { return t.name }
+
+// Len returns the number of dynamic branches in the trace.
+func (t *Trace) Len() int { return len(t.records) }
+
+// At returns the i'th record.
+func (t *Trace) At(i int) Record { return t.records[i] }
+
+// Records exposes the underlying record slice for read-only iteration.
+// Callers must not modify it.
+func (t *Trace) Records() []Record { return t.records }
+
+// Append adds a record to the trace.
+func (t *Trace) Append(r Record) { t.records = append(t.records, r) }
+
+// Slice returns a sub-trace view covering records [lo, hi).
+func (t *Trace) Slice(lo, hi int) *Trace {
+	return &Trace{name: t.name, records: t.records[lo:hi]}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func scannerTrace(t *testing.T) (*Trace, []byte) {
+	t.Helper()
+	tr := New("scan", 0)
+	for i := 0; i < 5000; i++ {
+		tr.Append(Record{
+			PC:       Addr(0x100 + (i%37)*4),
+			Taken:    i%3 != 0,
+			Backward: i%5 == 0,
+		})
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.Bytes()
+}
+
+func TestScannerMatchesRead(t *testing.T) {
+	tr, data := scannerTrace(t)
+	sc, err := NewScanner(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name() != "scan" {
+		t.Errorf("Name = %q", sc.Name())
+	}
+	if sc.Remaining() != tr.Len() {
+		t.Errorf("Remaining = %d, want %d", sc.Remaining(), tr.Len())
+	}
+	i := 0
+	for sc.Scan() {
+		if got := sc.Record(); got != tr.At(i) {
+			t.Fatalf("record %d: %v != %v", i, got, tr.At(i))
+		}
+		i++
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if i != tr.Len() {
+		t.Errorf("scanned %d records, want %d", i, tr.Len())
+	}
+	if sc.Scan() {
+		t.Error("Scan after EOF should be false")
+	}
+	if sc.Remaining() != 0 {
+		t.Errorf("Remaining after EOF = %d", sc.Remaining())
+	}
+}
+
+func TestScannerBadMagic(t *testing.T) {
+	if _, err := NewScanner(strings.NewReader("XXXXXXXXXX")); err != ErrBadMagic {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestScannerTruncated(t *testing.T) {
+	_, data := scannerTrace(t)
+	sc, err := NewScanner(bytes.NewReader(data[:len(data)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() {
+	}
+	if sc.Err() == nil {
+		t.Error("truncated stream should surface an error")
+	}
+}

@@ -1,0 +1,128 @@
+package workloads
+
+// vortexBTree is the ordered secondary index of the vortex stand-in: a
+// B-tree keyed by record id carrying the record kind, supporting insert
+// and in-order range scans. Deletions are handled as in the real
+// workload's design — the range scan consults the primary table for
+// liveness — so the tree itself only grows and splits, which is also
+// where its branch behavior lives: descent comparisons, full-node
+// splits, and scan-loop bounds checks.
+type vortexBTree struct {
+	t    *Tracer
+	s    *vortexSites
+	root *btNode
+	size int
+}
+
+const btOrder = 8 // max keys per node
+
+type btNode struct {
+	keys     [btOrder]uint32
+	kinds    [btOrder]uint8
+	n        int
+	children [btOrder + 1]*btNode
+	leaf     bool
+}
+
+func newVortexBTree(t *Tracer, s *vortexSites) *vortexBTree {
+	return &vortexBTree{t: t, s: s, root: &btNode{leaf: true}}
+}
+
+// splitChild splits the full i'th child of parent (classic preemptive
+// split: parent is guaranteed non-full).
+func (bt *vortexBTree) splitChild(parent *btNode, i int) {
+	child := parent.children[i]
+	mid := btOrder / 2
+	right := &btNode{leaf: child.leaf}
+	right.n = child.n - mid - 1
+	copy(right.keys[:], child.keys[mid+1:child.n])
+	copy(right.kinds[:], child.kinds[mid+1:child.n])
+	if !child.leaf {
+		copy(right.children[:], child.children[mid+1:child.n+1])
+	}
+	upKey, upKind := child.keys[mid], child.kinds[mid]
+	child.n = mid
+
+	// Shift parent entries right to make room.
+	copy(parent.keys[i+1:parent.n+1], parent.keys[i:parent.n])
+	copy(parent.kinds[i+1:parent.n+1], parent.kinds[i:parent.n])
+	copy(parent.children[i+2:parent.n+2], parent.children[i+1:parent.n+1])
+	parent.keys[i] = upKey
+	parent.kinds[i] = upKind
+	parent.children[i+1] = right
+	parent.n++
+}
+
+// insert adds (id, kind); duplicate ids are ignored (ids are unique by
+// construction in the workload).
+func (bt *vortexBTree) insert(id uint32, kind uint8) {
+	if bt.t.B(bt.s.btRootFull, bt.root.n == btOrder) {
+		old := bt.root
+		bt.root = &btNode{}
+		bt.root.children[0] = old
+		bt.splitChild(bt.root, 0)
+	}
+	node := bt.root
+	for {
+		// Find the insertion position within the node. Monotonically
+		// increasing keys (the workload's id allocation) take the
+		// append fast path, as a bulk-loading B-tree does.
+		i := node.n
+		if !bt.t.B(bt.s.btAppend, node.n == 0 || id > node.keys[node.n-1]) {
+			for j := 0; bt.t.B(bt.s.btDescend, j < node.n); j++ {
+				if id < node.keys[j] {
+					i = j
+					break
+				}
+			}
+		}
+		if bt.t.B(bt.s.btLeaf, node.leaf) {
+			copy(node.keys[i+1:node.n+1], node.keys[i:node.n])
+			copy(node.kinds[i+1:node.n+1], node.kinds[i:node.n])
+			node.keys[i] = id
+			node.kinds[i] = kind
+			node.n++
+			bt.size++
+			return
+		}
+		child := node.children[i]
+		if bt.t.B(bt.s.btSplit, child.n == btOrder) {
+			bt.splitChild(node, i)
+			if id > node.keys[i] {
+				i++
+			}
+		}
+		node = node.children[i]
+	}
+}
+
+// scan visits every (id, kind) with lo <= id <= hi in order.
+func (bt *vortexBTree) scan(lo, hi uint32, visit func(id uint32, kind uint8)) {
+	bt.scanNode(bt.root, lo, hi, visit)
+}
+
+func (bt *vortexBTree) scanNode(node *btNode, lo, hi uint32, visit func(uint32, uint8)) {
+	for i := 0; bt.t.B(bt.s.btScan, i < node.n); i++ {
+		if !node.leaf && node.keys[i] >= lo {
+			bt.scanNode(node.children[i], lo, hi, visit)
+		}
+		if bt.t.B(bt.s.btInRange, node.keys[i] >= lo && node.keys[i] <= hi) {
+			visit(node.keys[i], node.kinds[i])
+		}
+		if node.keys[i] > hi {
+			return
+		}
+	}
+	if !node.leaf {
+		bt.scanNode(node.children[node.n], lo, hi, visit)
+	}
+}
+
+// height returns the tree height (for the integrity checks).
+func (bt *vortexBTree) height() int {
+	h := 1
+	for n := bt.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,245 @@
+package workloads
+
+import "branchcorr/internal/trace"
+
+// compressWL stands in for SPECint95 "compress" (129.compress, LZW file
+// compression of test.in). It runs a real LZW codec over chunks of
+// Markov-chain text: each chunk is compressed, decompressed with a
+// mirrored dictionary, and verified to round-trip. Its branch population
+// matches compress's character: a dictionary-hit branch whose bias tracks
+// compression ratio, fixed-trip bit-emission loops and phrase-expansion
+// loops (loop class), data-dependent text-model branches, and
+// essentially-always-true verification checks.
+type compressWL struct{}
+
+func newCompress() Workload { return compressWL{} }
+
+func (compressWL) Name() string { return "compress" }
+
+func (compressWL) Description() string {
+	return "LZW codec (compress, decompress, verify) over Markov-generated text"
+}
+
+// compressSites are the static branch sites of the codec.
+type compressSites struct {
+	markovLoop   Site // per-character generation loop
+	markovVowel  Site // text model: emit vowel next?
+	markovSpace  Site // text model: end the word?
+	markovUpper  Site // text model: rare capital letter
+	lzwLoop      Site // per-input-character compression loop
+	dictHit      Site // (prefix, char) already in dictionary?
+	dictFull     Site // dictionary reached its size limit?
+	widthGrow    Site // next code no longer fits the code width?
+	bitsLoop     Site // per-bit code emission loop
+	bitFlush     Site // output byte full?
+	chunkHashDup Site // chunk checksum collision bookkeeping
+	decLoop      Site // per-code decompression loop
+	decKnown     Site // received code already in the table? (KwKwK case)
+	decExpand    Site // phrase-expansion prefix walk loop
+	decFull      Site // decoder dictionary reset point?
+	decWidth     Site // decoder code width growth?
+	verifyLoop   Site // round-trip comparison loop
+	verifyOK     Site // reconstructed byte matches? (always)
+}
+
+func newCompressSites() *compressSites {
+	a := newSiteAllocator(0x0100_0000)
+	return &compressSites{
+		markovLoop:   a.back(),
+		markovVowel:  a.fwd(),
+		markovSpace:  a.fwd(),
+		markovUpper:  a.fwd(),
+		lzwLoop:      a.back(),
+		dictHit:      a.fwd(),
+		dictFull:     a.fwd(),
+		widthGrow:    a.fwd(),
+		bitsLoop:     a.back(),
+		bitFlush:     a.fwd(),
+		chunkHashDup: a.fwd(),
+		decLoop:      a.back(),
+		decKnown:     a.fwd(),
+		decExpand:    a.back(),
+		decFull:      a.fwd(),
+		decWidth:     a.fwd(),
+		verifyLoop:   a.back(),
+		verifyOK:     a.fwd(),
+	}
+}
+
+const (
+	lzwMaxBits   = 12
+	lzwMaxCodes  = 1 << lzwMaxBits
+	lzwFirstCode = 257 // 0-255 literals, 256 reserved (clear)
+	chunkSize    = 1024
+)
+
+// lzwEncode compresses chunk, emitting per-bit branches through the
+// tracer and returning the code stream.
+func lzwEncode(t *Tracer, s *compressSites, chunk []byte) []uint16 {
+	dict := make(map[uint32]uint16, lzwMaxCodes)
+	nextCode := uint16(lzwFirstCode)
+	width := uint(9)
+	var codes []uint16
+	var outBits, outLen uint32
+	emit := func(code uint16) {
+		codes = append(codes, code)
+		for b := uint(0); t.B(s.bitsLoop, b < width); b++ {
+			outBits = outBits<<1 | uint32(code>>(width-1-b))&1
+			outLen++
+			if t.B(s.bitFlush, outLen%8 == 0) {
+				outBits = 0
+			}
+		}
+	}
+	prefix := uint16(chunk[0])
+	for i := 1; t.B(s.lzwLoop, i < len(chunk)); i++ {
+		c := chunk[i]
+		key := uint32(prefix)<<8 | uint32(c)
+		code, ok := dict[key]
+		if t.B(s.dictHit, ok) {
+			prefix = code
+			continue
+		}
+		emit(prefix)
+		if t.B(s.dictFull, nextCode >= lzwMaxCodes) {
+			dict = make(map[uint32]uint16, lzwMaxCodes)
+			nextCode = lzwFirstCode
+			width = 9
+		} else {
+			dict[key] = nextCode
+			nextCode++
+			if t.B(s.widthGrow, nextCode == 1<<width && width < lzwMaxBits) {
+				width++
+			}
+		}
+		prefix = uint16(c)
+	}
+	emit(prefix)
+	return codes
+}
+
+// lzwDecode reconstructs the original bytes from the code stream using a
+// prefix-table dictionary mirrored against the encoder's (including its
+// reset-on-full behavior).
+func lzwDecode(t *Tracer, s *compressSites, codes []uint16) []byte {
+	var prefixOf [lzwMaxCodes]uint16
+	var charOf [lzwMaxCodes]byte
+	nextCode := uint16(lzwFirstCode)
+	width := uint(9)
+	var out []byte
+	var scratch []byte
+
+	// expand reconstructs a code's phrase (walking the prefix chain
+	// backwards) and appends it to out, returning its first byte.
+	expand := func(code uint16) byte {
+		scratch = scratch[:0]
+		c := code
+		for t.B(s.decExpand, c >= lzwFirstCode) {
+			scratch = append(scratch, charOf[c])
+			c = prefixOf[c]
+		}
+		scratch = append(scratch, byte(c))
+		first := scratch[len(scratch)-1]
+		for i := len(scratch) - 1; i >= 0; i-- {
+			out = append(out, scratch[i])
+		}
+		return first
+	}
+
+	var prev uint16
+	for i := 0; t.B(s.decLoop, i < len(codes)); i++ {
+		code := codes[i]
+		var first byte
+		if t.B(s.decKnown, code < nextCode) {
+			first = expand(code)
+		} else {
+			// KwKwK: the code being defined right now. Its phrase is
+			// prev's phrase plus prev's first byte.
+			mark := len(out)
+			first = expand(prev)
+			out = append(out, out[mark]) // first byte of prev's phrase
+		}
+		if i > 0 {
+			if t.B(s.decFull, nextCode >= lzwMaxCodes) {
+				nextCode = lzwFirstCode
+				width = 9
+			} else {
+				prefixOf[nextCode] = prev
+				charOf[nextCode] = first
+				nextCode++
+				if t.B(s.decWidth, nextCode == 1<<width && width < lzwMaxBits) {
+					width++
+				}
+			}
+		}
+		prev = code
+	}
+	return out
+}
+
+func (compressWL) Generate(length int) *trace.Trace {
+	s := newCompressSites()
+	rng := newPRNG(0xC0311)
+	var seenHashes [256]uint32
+
+	return run("compress", length, func(t *Tracer) {
+		vowels := []byte("aeiou")
+		consonants := []byte("bcdfghjklmnpqrstvwxyz")
+		for {
+			// Generate one chunk of Markov text: alternating
+			// consonant/vowel tendencies with word breaks.
+			chunk := make([]byte, 0, chunkSize)
+			lastVowel := false
+			for i := 0; t.B(s.markovLoop, i < chunkSize); i++ {
+				if t.B(s.markovSpace, rng.chance(1, 6)) {
+					chunk = append(chunk, ' ')
+					lastVowel = false
+					continue
+				}
+				var c byte
+				if t.B(s.markovVowel, !lastVowel && rng.chance(3, 4) || lastVowel && rng.chance(1, 5)) {
+					c = vowels[rng.intn(len(vowels))]
+					lastVowel = true
+				} else {
+					c = consonants[rng.intn(len(consonants))]
+					lastVowel = false
+				}
+				if t.B(s.markovUpper, rng.chance(1, 40)) {
+					c -= 'a' - 'A'
+				}
+				chunk = append(chunk, c)
+			}
+
+			codes := lzwEncode(t, s, chunk)
+			decoded := lzwDecode(t, s, codes)
+
+			// Round-trip verification: these branches essentially never
+			// fail (and a failure would be a codec bug, surfaced by the
+			// mismatch counter staying nonzero in tests).
+			bad := 0
+			if len(decoded) != len(chunk) {
+				bad++
+			}
+			for i := 0; t.B(s.verifyLoop, i < len(chunk) && i < len(decoded)); i++ {
+				if !t.B(s.verifyOK, decoded[i] == chunk[i]) {
+					bad++
+				}
+			}
+			if bad > 0 {
+				panic("compress workload: LZW round-trip failed")
+			}
+
+			// Chunk checksum table, exercising a rarely-taken branch.
+			h := uint32(2166136261)
+			for _, c := range chunk {
+				h = (h ^ uint32(c)) * 16777619
+			}
+			slot := h & 0xFF
+			if t.B(s.chunkHashDup, seenHashes[slot] == h) {
+				seenHashes[slot] = 0
+			} else {
+				seenHashes[slot] = h
+			}
+		}
+	})
+}

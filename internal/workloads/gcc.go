@@ -1,0 +1,681 @@
+package workloads
+
+import (
+	"sort"
+
+	"branchcorr/internal/trace"
+)
+
+// gccWL stands in for SPECint95 "gcc" (126.gcc compiling jump.i). It is a
+// real compiler pipeline — source generation, lexing, recursive-descent
+// parsing, constant folding, common-subexpression scanning, stack-code
+// emission, linear-scan register allocation, and a peephole pass — over
+// randomly generated C-like functions. Compiler branch populations
+// are dominated by weakly-biased token- and node-kind dispatch whose
+// outcomes correlate across stages (the lexer's "is digit" decides the
+// parser's "is literal" decides the folder's "is constant"), which is
+// exactly the correlation structure that makes gcc respond strongly to
+// global history yet stay the second-hardest benchmark.
+type gccWL struct{}
+
+func newGCC() Workload { return gccWL{} }
+
+func (gccWL) Name() string { return "gcc" }
+
+func (gccWL) Description() string {
+	return "compiler pipeline: lex, parse, fold, CSE, register-allocate, peephole C-like code"
+}
+
+type gccSites struct {
+	genLoop     Site // per-statement generation loop
+	genIf       Site // statement kind: if?
+	genAssign   Site // statement kind: assignment (vs return)
+	genDepth    Site // expression generator recursion cutoff
+	genLeafNum  Site // leaf kind: literal vs variable
+	genOpArith  Site // operator class: arithmetic vs comparison
+	lexLoop     Site // per-character lexer loop
+	lexSpace    Site // skip whitespace?
+	lexDigit    Site // digit -> number token
+	lexDigitAcc Site // number accumulation loop
+	lexAlpha    Site // letter -> identifier token
+	lexAlphaAcc Site // identifier accumulation loop
+	lexTwoChar  Site // two-character operator (==, <=)?
+	parseIf     Site // statement dispatch: "if"
+	parseRet    Site // statement dispatch: "return"
+	parseCmp    Site // expression: comparison operator present?
+	parseAddLp  Site // additive operator loop
+	parseMulLp  Site // multiplicative operator loop
+	parseParen  Site // primary: parenthesized subexpression?
+	parseNum    Site // primary: numeric literal?
+	foldConst   Site // both operands constant?
+	foldZeroL   Site // left identity (0 + x, 1 * x)?
+	foldDivZero Site // division by zero guard
+	emitLeaf    Site // codegen: node is a leaf?
+	emitCmp     Site // codegen: comparison needs a setcc?
+	symLookup   Site // symbol-table probe loop
+	symFound    Site // symbol-table hit?
+	cseWalk     Site // CSE subtree walk: internal node?
+	cseHit      Site // CSE table hit (subexpression seen before)?
+	cseKill     Site // CSE table invalidation on assignment?
+	peepLoop    Site // peephole window scan loop
+	peepFold    Site // peephole: push-const/push-const/op triple?
+	peepNop     Site // peephole: add-zero or mul-one?
+	raLoop      Site // register allocator: per-interval loop
+	raExpire    Site // expire intervals ending before current start
+	raSpill     Site // out of physical registers: spill?
+	raReuse     Site // freed register available for reuse?
+}
+
+func newGCCSites() *gccSites {
+	a := newSiteAllocator(0x0200_0000)
+	return &gccSites{
+		genLoop:     a.back(),
+		genIf:       a.fwd(),
+		genAssign:   a.fwd(),
+		genDepth:    a.fwd(),
+		genLeafNum:  a.fwd(),
+		genOpArith:  a.fwd(),
+		lexLoop:     a.back(),
+		lexSpace:    a.fwd(),
+		lexDigit:    a.fwd(),
+		lexDigitAcc: a.back(),
+		lexAlpha:    a.fwd(),
+		lexAlphaAcc: a.back(),
+		lexTwoChar:  a.fwd(),
+		parseIf:     a.fwd(),
+		parseRet:    a.fwd(),
+		parseCmp:    a.fwd(),
+		parseAddLp:  a.back(),
+		parseMulLp:  a.back(),
+		parseParen:  a.fwd(),
+		parseNum:    a.fwd(),
+		foldConst:   a.fwd(),
+		foldZeroL:   a.fwd(),
+		foldDivZero: a.fwd(),
+		emitLeaf:    a.fwd(),
+		emitCmp:     a.fwd(),
+		symLookup:   a.back(),
+		symFound:    a.fwd(),
+		cseWalk:     a.fwd(),
+		cseHit:      a.fwd(),
+		cseKill:     a.fwd(),
+		peepLoop:    a.back(),
+		peepFold:    a.fwd(),
+		peepNop:     a.fwd(),
+		raLoop:      a.back(),
+		raExpire:    a.back(),
+		raSpill:     a.fwd(),
+		raReuse:     a.fwd(),
+	}
+}
+
+// Token kinds.
+const (
+	tkEOF = iota
+	tkNum
+	tkIdent
+	tkPlus
+	tkMinus
+	tkStar
+	tkSlash
+	tkLT
+	tkEQ
+	tkLParen
+	tkRParen
+	tkSemi
+	tkAssign
+	tkIf
+	tkReturn
+)
+
+type gccToken struct {
+	kind int
+	val  int
+	text string
+}
+
+// AST node.
+type gccNode struct {
+	op    byte // 'n' literal, 'v' variable, else operator rune
+	val   int
+	name  string
+	left  *gccNode
+	right *gccNode
+}
+
+type gccState struct {
+	t       *Tracer
+	s       *gccSites
+	rng     *prng
+	toks    []gccToken
+	pos     int
+	names   []string
+	stmtIdx int
+	cse     map[uint32]int // subtree hash -> statement it was last seen in
+	ivals   []gccInterval  // virtual-register live intervals of the stmt
+	emitPos int
+	code    []gccInst // linear stack code of the current statement
+}
+
+// gccInst is one emitted stack-machine instruction.
+type gccInst struct {
+	op  byte // 'c' push-const, 'v' push-var, else ALU/compare op
+	val int
+}
+
+// gccInterval is a virtual register's live range in emit order.
+type gccInterval struct {
+	start, end int
+	reg        int // assigned physical register, -1 if spilled
+}
+
+func (gccWL) Generate(length int) *trace.Trace {
+	s := newGCCSites()
+	rng := newPRNG(0x6CC)
+	return run("gcc", length, func(t *Tracer) {
+		g := &gccState{
+			t: t, s: s, rng: rng,
+			names: []string{"i", "n", "a", "b", "c", "d", "p", "x"},
+			cse:   make(map[uint32]int),
+		}
+		// The pipeline runs statement-at-a-time (generate → lex → parse →
+		// fold → emit) as a streaming compiler would, so branches in
+		// adjacent stages that test the same token are close enough in
+		// the dynamic branch stream for window-bounded correlation — the
+		// structure section 3.1 describes.
+		for {
+			src := g.genStmtSource()
+			g.lex(src)
+			for g.pos = 0; g.pos < len(g.toks)-1; {
+				node := g.parseStmt()
+				if node != nil {
+					folded := g.fold(node)
+					g.cseStmt(folded)
+					g.ivals = g.ivals[:0]
+					g.code = g.code[:0]
+					g.emitPos = 0
+					if root := g.emit(folded); root >= 0 {
+						g.ivals = append(g.ivals, gccInterval{start: root, end: g.emitPos + 1})
+					}
+					g.regalloc(4)
+					g.peephole()
+				}
+			}
+		}
+	})
+}
+
+// genStmtSource emits the text of one statement. The statement-kind
+// branches here correlate with the parser's dispatch branches a few dozen
+// dynamic branches later.
+func (g *gccState) genStmtSource() []byte {
+	var src []byte
+	g.t.B(g.s.genLoop, true) // per-statement driver iteration
+	g.stmtIdx++
+	// Statement kinds follow the loosely templated rhythm of real code
+	// (an if-statement every few assignments) with occasional deviation,
+	// not a per-statement coin flip.
+	switch {
+	case g.t.B(g.s.genIf, g.stmtIdx%5 == 2 || g.rng.chance(1, 16)):
+		src = append(src, "if ("...)
+		src = g.genExpr(src, 0)
+		src = append(src, ") "...)
+		src = append(src, g.names[g.pickName()]...)
+		src = append(src, " = "...)
+		src = g.genExpr(src, 1)
+		src = append(src, "; "...)
+	case g.t.B(g.s.genAssign, g.stmtIdx%11 != 7):
+		src = append(src, g.names[g.pickName()]...)
+		src = append(src, " = "...)
+		src = g.genExpr(src, 0)
+		src = append(src, "; "...)
+	default:
+		src = append(src, "return "...)
+		src = g.genExpr(src, 0)
+		src = append(src, "; "...)
+	}
+	return src
+}
+
+// pickName chooses a variable with the Zipf-like skew of real code: the
+// loop counters dominate.
+func (g *gccState) pickName() int {
+	if g.rng.chance(2, 3) {
+		return g.rng.intn(2)
+	}
+	return g.rng.intn(len(g.names))
+}
+
+func (g *gccState) genExpr(src []byte, depth int) []byte {
+	if g.t.B(g.s.genDepth, depth >= 2 || g.rng.chance(1, 6)) {
+		// Leaf. Literals are much rarer than variable references, as in
+		// real code.
+		if g.t.B(g.s.genLeafNum, g.rng.chance(1, 4)) {
+			n := g.rng.intn(100)
+			if n >= 10 {
+				src = append(src, byte('0'+n/10))
+			}
+			return append(src, byte('0'+n%10))
+		}
+		return append(src, g.names[g.pickName()]...)
+	}
+	src = append(src, '(')
+	src = g.genExpr(src, depth+1)
+	ops := []string{" + ", " - ", " * ", " / "}
+	if g.t.B(g.s.genOpArith, g.rng.chance(9, 10)) {
+		src = append(src, ops[g.rng.intn(len(ops))]...)
+	} else if g.rng.chance(1, 2) {
+		src = append(src, " < "...)
+	} else {
+		src = append(src, " == "...)
+	}
+	src = g.genExpr(src, depth+1)
+	return append(src, ')')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' }
+
+// lex tokenizes src into g.toks.
+func (g *gccState) lex(src []byte) {
+	g.toks = g.toks[:0]
+	i := 0
+	for g.t.B(g.s.lexLoop, i < len(src)) {
+		c := src[i]
+		if g.t.B(g.s.lexSpace, c == ' ') {
+			i++
+			continue
+		}
+		if g.t.B(g.s.lexDigit, isDigit(c)) {
+			v := 0
+			for g.t.B(g.s.lexDigitAcc, i < len(src) && isDigit(src[i])) {
+				v = v*10 + int(src[i]-'0')
+				i++
+			}
+			g.toks = append(g.toks, gccToken{kind: tkNum, val: v})
+			continue
+		}
+		if g.t.B(g.s.lexAlpha, isAlpha(c)) {
+			start := i
+			for g.t.B(g.s.lexAlphaAcc, i < len(src) && isAlpha(src[i])) {
+				i++
+			}
+			word := string(src[start:i])
+			switch word {
+			case "if":
+				g.toks = append(g.toks, gccToken{kind: tkIf})
+			case "return":
+				g.toks = append(g.toks, gccToken{kind: tkReturn})
+			default:
+				g.toks = append(g.toks, gccToken{kind: tkIdent, text: word})
+			}
+			continue
+		}
+		if g.t.B(g.s.lexTwoChar, c == '=' && i+1 < len(src) && src[i+1] == '=') {
+			g.toks = append(g.toks, gccToken{kind: tkEQ})
+			i += 2
+			continue
+		}
+		kind := tkEOF
+		switch c {
+		case '+':
+			kind = tkPlus
+		case '-':
+			kind = tkMinus
+		case '*':
+			kind = tkStar
+		case '/':
+			kind = tkSlash
+		case '<':
+			kind = tkLT
+		case '(':
+			kind = tkLParen
+		case ')':
+			kind = tkRParen
+		case ';':
+			kind = tkSemi
+		case '=':
+			kind = tkAssign
+		}
+		g.toks = append(g.toks, gccToken{kind: kind})
+		i++
+	}
+	g.toks = append(g.toks, gccToken{kind: tkEOF})
+}
+
+func (g *gccState) peek() int { return g.toks[g.pos].kind }
+
+func (g *gccState) advance() gccToken {
+	tok := g.toks[g.pos]
+	if g.pos < len(g.toks)-1 {
+		g.pos++
+	}
+	return tok
+}
+
+// parseStmt parses one statement and returns its expression tree.
+func (g *gccState) parseStmt() *gccNode {
+	if g.t.B(g.s.parseIf, g.peek() == tkIf) {
+		g.advance() // if
+		g.advance() // (
+		cond := g.parseExpr()
+		g.advance() // )
+		body := g.parseStmt()
+		return &gccNode{op: '?', left: cond, right: body}
+	}
+	if g.t.B(g.s.parseRet, g.peek() == tkReturn) {
+		g.advance()
+		e := g.parseExpr()
+		g.advance() // ;
+		return &gccNode{op: 'r', left: e}
+	}
+	// assignment: ident = expr ;
+	name := g.advance()
+	g.advance() // =
+	e := g.parseExpr()
+	g.advance() // ;
+	return &gccNode{op: '=', name: name.text, left: e}
+}
+
+func (g *gccState) parseExpr() *gccNode {
+	left := g.parseAdditive()
+	if g.t.B(g.s.parseCmp, g.peek() == tkLT || g.peek() == tkEQ) {
+		op := byte('<')
+		if g.advance().kind == tkEQ {
+			op = 'q'
+		}
+		right := g.parseAdditive()
+		return &gccNode{op: op, left: left, right: right}
+	}
+	return left
+}
+
+func (g *gccState) parseAdditive() *gccNode {
+	left := g.parseMultiplicative()
+	for g.t.B(g.s.parseAddLp, g.peek() == tkPlus || g.peek() == tkMinus) {
+		op := byte('+')
+		if g.advance().kind == tkMinus {
+			op = '-'
+		}
+		right := g.parseMultiplicative()
+		left = &gccNode{op: op, left: left, right: right}
+	}
+	return left
+}
+
+func (g *gccState) parseMultiplicative() *gccNode {
+	left := g.parsePrimary()
+	for g.t.B(g.s.parseMulLp, g.peek() == tkStar || g.peek() == tkSlash) {
+		op := byte('*')
+		if g.advance().kind == tkSlash {
+			op = '/'
+		}
+		right := g.parsePrimary()
+		left = &gccNode{op: op, left: left, right: right}
+	}
+	return left
+}
+
+func (g *gccState) parsePrimary() *gccNode {
+	if g.t.B(g.s.parseParen, g.peek() == tkLParen) {
+		g.advance()
+		e := g.parseExpr()
+		g.advance() // )
+		return e
+	}
+	if g.t.B(g.s.parseNum, g.peek() == tkNum) {
+		return &gccNode{op: 'n', val: g.advance().val}
+	}
+	return &gccNode{op: 'v', name: g.advance().text}
+}
+
+// fold performs constant folding bottom-up.
+func (g *gccState) fold(n *gccNode) *gccNode {
+	if n == nil || n.op == 'n' || n.op == 'v' {
+		return n
+	}
+	n.left = g.fold(n.left)
+	n.right = g.fold(n.right)
+	l, r := n.left, n.right
+	if g.t.B(g.s.foldConst, l != nil && r != nil && l.op == 'n' && r.op == 'n') {
+		v := 0
+		switch n.op {
+		case '+':
+			v = l.val + r.val
+		case '-':
+			v = l.val - r.val
+		case '*':
+			v = l.val * r.val
+		case '/':
+			if g.t.B(g.s.foldDivZero, r.val == 0) {
+				v = 0
+			} else {
+				v = l.val / r.val
+			}
+		case '<':
+			if l.val < r.val {
+				v = 1
+			}
+		case 'q':
+			if l.val == r.val {
+				v = 1
+			}
+		default:
+			return n
+		}
+		return &gccNode{op: 'n', val: v}
+	}
+	if g.t.B(g.s.foldZeroL, l != nil && l.op == 'n' && l.val == 0 && n.op == '+') {
+		return r
+	}
+	return n
+}
+
+// emit walks the tree generating stack code (counted, not stored) and
+// resolving variables through a tiny linear symbol table. Each node's
+// value defines a virtual register at the node's emit position, consumed
+// at its parent's position; emit records those live intervals for the
+// register allocator and returns the node's definition position (-1 for
+// nil).
+func (g *gccState) emit(n *gccNode) int {
+	if n == nil {
+		return -1
+	}
+	if g.t.B(g.s.emitLeaf, n.op == 'n' || n.op == 'v') {
+		pos := g.emitPos
+		g.emitPos++
+		if n.op == 'v' {
+			for i := 0; g.t.B(g.s.symLookup, i < len(g.names)); i++ {
+				if g.t.B(g.s.symFound, g.names[i] == n.name) {
+					break
+				}
+			}
+			g.code = append(g.code, gccInst{op: 'v'})
+		} else {
+			g.code = append(g.code, gccInst{op: 'c', val: n.val})
+		}
+		return pos
+	}
+	leftDef := g.emit(n.left)
+	rightDef := g.emit(n.right)
+	pos := g.emitPos
+	g.emitPos++
+	g.code = append(g.code, gccInst{op: n.op})
+	if g.t.B(g.s.emitCmp, n.op == '<' || n.op == 'q') {
+		g.emitPos++
+	}
+	if leftDef >= 0 {
+		g.ivals = append(g.ivals, gccInterval{start: leftDef, end: pos})
+	}
+	if rightDef >= 0 {
+		g.ivals = append(g.ivals, gccInterval{start: rightDef, end: pos})
+	}
+	return pos
+}
+
+// cseStmt runs a common-subexpression scan over one statement's tree:
+// every internal subtree is hashed and looked up in a value table that
+// persists across statements; assignments invalidate entries mentioning
+// the written variable (approximated by clearing on a name-hash match,
+// as value-numbering implementations do with alias sets).
+func (g *gccState) cseStmt(n *gccNode) {
+	if n == nil {
+		return
+	}
+	if n.op == '=' {
+		// Writing a variable kills remembered subexpressions that read
+		// it. Kill a slice of the table keyed by the name hash. Keys are
+		// visited in sorted order: trace generation must be
+		// deterministic, and Go map iteration is not.
+		h := nameHash(n.name)
+		keys := make([]uint32, 0, len(g.cse))
+		for k := range g.cse {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		// Scan a bounded window of the sorted key space starting at the
+		// written variable's hash — the bounded alias-set walk of a real
+		// value-numbering pass. Sorted order keeps generation
+		// deterministic (Go map iteration is not).
+		lo := sort.Search(len(keys), func(i int) bool { return keys[i] >= h })
+		for o := 0; o < 16 && lo+o < len(keys); o++ {
+			k := keys[lo+o]
+			if g.t.B(g.s.cseKill, k%8 == h%8 && g.stmtIdx-g.cse[k] > 0) {
+				delete(g.cse, k)
+			}
+		}
+		if len(g.cse) > 512 {
+			// Value tables are bounded in real compilers too.
+			g.cse = make(map[uint32]int)
+		}
+	}
+	g.cseWalk(n)
+}
+
+// cseWalk hashes subtrees bottom-up and records/looks up each internal
+// node.
+func (g *gccState) cseWalk(n *gccNode) uint32 {
+	if n == nil {
+		return 0
+	}
+	if !g.t.B(g.s.cseWalk, n.op != 'n' && n.op != 'v') {
+		if n.op == 'n' {
+			return 0x9E3779B9 ^ uint32(n.val)
+		}
+		return nameHash(n.name)
+	}
+	h := uint32(n.op) * 16777619
+	h ^= g.cseWalk(n.left) * 2654435761
+	h ^= g.cseWalk(n.right) * 40503
+	if _, ok := g.cse[h]; g.t.B(g.s.cseHit, ok) {
+		// Subexpression available: a real compiler would reuse it; the
+		// branch outcome is what the study cares about.
+		g.cse[h] = g.stmtIdx
+	} else {
+		g.cse[h] = g.stmtIdx
+	}
+	return h
+}
+
+func nameHash(name string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return h
+}
+
+// regalloc performs linear-scan register allocation (Poletto & Sarkar)
+// over the statement's virtual-register intervals with nregs physical
+// registers. Intervals that lose their register are marked spilled
+// (reg = -1); no two live-overlapping intervals ever share a register.
+func (g *gccState) regalloc(nregs int) {
+	sort.Slice(g.ivals, func(i, j int) bool { return g.ivals[i].start < g.ivals[j].start })
+	type active struct {
+		end, reg, idx int
+	}
+	var actives []active
+	freeRegs := make([]int, nregs)
+	for i := range freeRegs {
+		freeRegs[i] = nregs - 1 - i
+	}
+	for i := 0; g.t.B(g.s.raLoop, i < len(g.ivals)); i++ {
+		iv := &g.ivals[i]
+		// Expire intervals that ended before this one starts.
+		j := 0
+		for ; g.t.B(g.s.raExpire, j < len(actives) && actives[j].end <= iv.start); j++ {
+			freeRegs = append(freeRegs, actives[j].reg)
+		}
+		actives = actives[j:]
+		if g.t.B(g.s.raSpill, len(freeRegs) == 0) {
+			// Spill the interval that ends last: if that is the longest
+			// active, it loses its register to the current interval;
+			// otherwise the current interval itself spills.
+			last := len(actives) - 1
+			if actives[last].end > iv.end {
+				iv.reg = actives[last].reg
+				g.ivals[actives[last].idx].reg = -1
+				actives = actives[:last]
+			} else {
+				iv.reg = -1
+				continue
+			}
+		} else if g.t.B(g.s.raReuse, len(freeRegs) > 0) {
+			iv.reg = freeRegs[len(freeRegs)-1]
+			freeRegs = freeRegs[:len(freeRegs)-1]
+		}
+		// Insert into actives keeping end-order.
+		pos := len(actives)
+		for k := 0; k < len(actives); k++ {
+			if actives[k].end > iv.end {
+				pos = k
+				break
+			}
+		}
+		actives = append(actives, active{})
+		copy(actives[pos+1:], actives[pos:])
+		actives[pos] = active{end: iv.end, reg: iv.reg, idx: i}
+	}
+}
+
+// peephole scans the statement's stack code with a 3-instruction window,
+// folding constant triples (push c1; push c2; op) and removing algebraic
+// no-ops (x + 0, x * 1) — the last classic pass of the pipeline. The
+// fold branch correlates strongly with the constant-folder's earlier
+// decisions: trees the folder already collapsed leave nothing to fold
+// here, which is exactly the kind of cross-stage correlation the paper's
+// selective histories exploit.
+func (g *gccState) peephole() int {
+	removed := 0
+	for i := 0; g.t.B(g.s.peepLoop, i+2 < len(g.code)); i++ {
+		a, b, c := g.code[i], g.code[i+1], g.code[i+2]
+		isALU := c.op == '+' || c.op == '-' || c.op == '*' || c.op == '/'
+		if g.t.B(g.s.peepFold, a.op == 'c' && b.op == 'c' && isALU) {
+			v := 0
+			switch c.op {
+			case '+':
+				v = a.val + b.val
+			case '-':
+				v = a.val - b.val
+			case '*':
+				v = a.val * b.val
+			case '/':
+				if b.val != 0 {
+					v = a.val / b.val
+				}
+			}
+			g.code[i] = gccInst{op: 'c', val: v}
+			g.code = append(g.code[:i+1], g.code[i+3:]...)
+			removed += 2
+			i--
+			continue
+		}
+		nop := b.op == 'c' && ((c.op == '+' && b.val == 0) || (c.op == '*' && b.val == 1))
+		if g.t.B(g.s.peepNop, nop) {
+			g.code = append(g.code[:i+1], g.code[i+3:]...)
+			removed += 2
+			i--
+		}
+	}
+	return removed
+}

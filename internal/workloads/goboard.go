@@ -1,0 +1,269 @@
+package workloads
+
+import "branchcorr/internal/trace"
+
+// goWL stands in for SPECint95 "go" (099.go playing 2stone9.in). It is a
+// real 9×9 Go-board engine: alternating players pick moves with a local
+// heuristic, legality requires flood-fill liberty counting, and captures
+// remove dead groups. Board-game engines are the hardest branch
+// populations in SPECint95 (gshare ~84%): almost every branch tests board
+// contents that change every move, giving weak bias and only partial
+// correlation.
+type goWL struct{}
+
+func newGo() Workload { return goWL{} }
+
+func (goWL) Name() string { return "go" }
+
+func (goWL) Description() string {
+	return "9x9 Go engine: move evaluation, liberty flood-fill, captures, territory scoring"
+}
+
+const goN = 9
+
+type goSites struct {
+	moveLoop   Site // per-move game loop
+	cellEmpty  Site // candidate cell empty?
+	nbrLoop    Site // neighbor iteration loop
+	nbrOnBoard Site // neighbor within the board?
+	nbrEnemy   Site // neighbor is an enemy stone?
+	nbrFriend  Site // neighbor is a friendly stone?
+	libStack   Site // flood-fill stack non-empty?
+	libVisited Site // flood-fill cell already visited?
+	libEmpty   Site // flood-fill found a liberty?
+	libSame    Site // flood-fill cell in same group?
+	capCheck   Site // enemy group captured (no liberties)?
+	suicide    Site // move would be suicide?
+	removeLoop Site // captured-stone removal loop
+	passCheck  Site // heuristic: prefer corner/edge?
+	resetBoard Site // board too full, start a new game?
+	terrLoop   Site // territory scoring: per-cell scan
+	terrEmpty  Site // scoring: cell empty (region seed)?
+	terrStack  Site // scoring flood-fill stack non-empty?
+	terrSeen   Site // scoring: cell already visited?
+	terrBlack  Site // region borders black?
+	terrWhite  Site // region borders white?
+	terrNeut   Site // region is neutral (borders both)?
+	evalLoop   Site // candidate-move evaluation loop
+	evalBetter Site // candidate scores better than current best?
+	evalLegal  Site // candidate cell free?
+}
+
+func newGoSites() *goSites {
+	a := newSiteAllocator(0x0300_0000)
+	return &goSites{
+		moveLoop:   a.back(),
+		cellEmpty:  a.fwd(),
+		nbrLoop:    a.back(),
+		nbrOnBoard: a.fwd(),
+		nbrEnemy:   a.fwd(),
+		nbrFriend:  a.fwd(),
+		libStack:   a.back(),
+		libVisited: a.fwd(),
+		libEmpty:   a.fwd(),
+		libSame:    a.fwd(),
+		capCheck:   a.fwd(),
+		suicide:    a.fwd(),
+		removeLoop: a.back(),
+		passCheck:  a.fwd(),
+		resetBoard: a.fwd(),
+		terrLoop:   a.back(),
+		terrEmpty:  a.fwd(),
+		terrStack:  a.back(),
+		terrSeen:   a.fwd(),
+		terrBlack:  a.fwd(),
+		terrWhite:  a.fwd(),
+		terrNeut:   a.fwd(),
+		evalLoop:   a.back(),
+		evalBetter: a.fwd(),
+		evalLegal:  a.fwd(),
+	}
+}
+
+type goEngine struct {
+	t      *Tracer
+	s      *goSites
+	rng    *prng
+	board  [goN * goN]int8 // 0 empty, 1 black, 2 white
+	stones int
+}
+
+var goDirs = [4]int{-goN, goN, -1, 1}
+
+func (e *goEngine) onBoard(from, to int) bool {
+	if to < 0 || to >= goN*goN {
+		return false
+	}
+	// Horizontal moves must not wrap rows.
+	if to == from-1 || to == from+1 {
+		return from/goN == to/goN
+	}
+	return true
+}
+
+// groupLiberties flood-fills the group at pos and returns (liberties,
+// group cells).
+func (e *goEngine) groupLiberties(pos int) (int, []int) {
+	color := e.board[pos]
+	var visited [goN * goN]bool
+	stack := []int{pos}
+	visited[pos] = true
+	group := []int{pos}
+	libs := 0
+	for e.t.B(e.s.libStack, len(stack) > 0) {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for d := 0; e.t.B(e.s.nbrLoop, d < 4); d++ {
+			nb := cur + goDirs[d]
+			if !e.t.B(e.s.nbrOnBoard, e.onBoard(cur, nb)) {
+				continue
+			}
+			if e.t.B(e.s.libVisited, visited[nb]) {
+				continue
+			}
+			if e.t.B(e.s.libEmpty, e.board[nb] == 0) {
+				libs++
+				visited[nb] = true
+				continue
+			}
+			if e.t.B(e.s.libSame, e.board[nb] == color) {
+				visited[nb] = true
+				stack = append(stack, nb)
+				group = append(group, nb)
+			}
+		}
+	}
+	return libs, group
+}
+
+// scoreTerritory runs the end-of-game territory count: every empty
+// region is flood-filled and credited to the color that exclusively
+// borders it.
+func (e *goEngine) scoreTerritory() (black, white int) {
+	var seen [goN * goN]bool
+	for pos := 0; e.t.B(e.s.terrLoop, pos < goN*goN); pos++ {
+		if !e.t.B(e.s.terrEmpty, e.board[pos] == 0 && !seen[pos]) {
+			continue
+		}
+		stack := []int{pos}
+		seen[pos] = true
+		size := 0
+		bordersB, bordersW := false, false
+		for e.t.B(e.s.terrStack, len(stack) > 0) {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for d := 0; d < 4; d++ {
+				nb := cur + goDirs[d]
+				if !e.onBoard(cur, nb) {
+					continue
+				}
+				if e.t.B(e.s.terrSeen, seen[nb] || e.board[nb] != 0) {
+					if e.t.B(e.s.terrBlack, e.board[nb] == 1) {
+						bordersB = true
+					} else if e.t.B(e.s.terrWhite, e.board[nb] == 2) {
+						bordersW = true
+					}
+					continue
+				}
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+		if e.t.B(e.s.terrNeut, bordersB == bordersW) {
+			continue // neutral or enclosed-by-nothing region
+		}
+		if bordersB {
+			black += size
+		} else {
+			white += size
+		}
+	}
+	return black, white
+}
+
+func (goWL) Generate(length int) *trace.Trace {
+	s := newGoSites()
+	rng := newPRNG(0x60B0A2D)
+	return run("go", length, func(t *Tracer) {
+		e := &goEngine{t: t, s: s, rng: rng}
+		player := int8(1)
+		for {
+			if t.B(s.resetBoard, e.stones > goN*goN*3/4) {
+				// Game over: score the position, then start a new game.
+				e.scoreTerritory()
+				e.board = [goN * goN]int8{}
+				e.stones = 0
+			}
+			for moves := 0; t.B(s.moveLoop, moves < 8); moves++ {
+				// Evaluate a handful of candidate cells and play the one
+				// with the most empty neighbors (a liberty-greedy
+				// heuristic), as a real engine's move loop does.
+				pos, bestScore := -1, -1
+				for c := 0; t.B(s.evalLoop, c < 3); c++ {
+					cand := e.rng.intn(goN * goN)
+					if t.B(s.passCheck, cand%goN == 0 || cand%goN == goN-1) {
+						cand = (cand + goN*goN/2) % (goN * goN)
+					}
+					if !t.B(s.evalLegal, e.board[cand] == 0) {
+						continue
+					}
+					score := 0
+					for d := 0; d < 4; d++ {
+						nb := cand + goDirs[d]
+						if e.onBoard(cand, nb) && e.board[nb] == 0 {
+							score++
+						}
+					}
+					if t.B(s.evalBetter, score > bestScore) {
+						bestScore = score
+						pos = cand
+					}
+				}
+				if !t.B(s.cellEmpty, pos >= 0 && e.board[pos] == 0) {
+					continue
+				}
+				e.board[pos] = player
+				// Capture adjacent enemy groups with no liberties.
+				captured := 0
+				for d := 0; t.B(s.nbrLoop, d < 4); d++ {
+					nb := pos + goDirs[d]
+					if !t.B(s.nbrOnBoard, e.onBoard(pos, nb)) {
+						continue
+					}
+					if !t.B(s.nbrEnemy, e.board[nb] != 0 && e.board[nb] != player) {
+						continue
+					}
+					libs, group := e.groupLiberties(nb)
+					if t.B(s.capCheck, libs == 0) {
+						for gi := 0; t.B(s.removeLoop, gi < len(group)); gi++ {
+							e.board[group[gi]] = 0
+							e.stones--
+						}
+						captured += len(group)
+					}
+				}
+				// Suicide check: own group must have a liberty.
+				libs, group := e.groupLiberties(pos)
+				if t.B(s.suicide, libs == 0 && captured == 0) {
+					e.board[pos] = 0
+				} else {
+					e.stones++
+					// A friendly-neighbor branch correlated with group
+					// size (larger groups form near friends).
+					friends := 0
+					for d := 0; t.B(s.nbrLoop, d < 4); d++ {
+						nb := pos + goDirs[d]
+						if t.B(s.nbrOnBoard, e.onBoard(pos, nb)) &&
+							t.B(s.nbrFriend, e.board[nb] == player) {
+							friends++
+						}
+					}
+					_ = friends
+					_ = group
+				}
+				player = 3 - player
+			}
+		}
+	})
+}

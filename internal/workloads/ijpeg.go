@@ -1,0 +1,273 @@
+package workloads
+
+import "branchcorr/internal/trace"
+
+// ijpegWL stands in for SPECint95 "ijpeg" (132.ijpeg compressing
+// specmun.ppm). It runs a real JPEG-style pipeline on synthetic images:
+// 8×8 block extraction, a separable integer DCT, quantization, zigzag
+// run-length scanning, and magnitude-class coding. Image codecs are
+// loop-dominated — the fixed-trip DCT loops are classic loop-class
+// branches — with biased data-dependent branches (most quantized
+// coefficients are zero), matching ijpeg's profile: high accuracy overall
+// and a large loop-class population.
+type ijpegWL struct{}
+
+func newIJPEG() Workload { return ijpegWL{} }
+
+func (ijpegWL) Name() string { return "ijpeg" }
+
+func (ijpegWL) Description() string {
+	return "JPEG-style codec: DCT, quantization, zigzag RLE, Huffman, decode-verify"
+}
+
+const (
+	imgW      = 64
+	imgH      = 64
+	blockSize = 8
+)
+
+type ijpegSites struct {
+	rowLoop   Site // block rows
+	colLoop   Site // block columns
+	dctULoop  Site // DCT outer frequency loop
+	dctVLoop  Site // DCT inner frequency loop
+	dctXLoop  Site // DCT spatial accumulation loop
+	quantZero Site // quantized coefficient is zero?
+	quantNeg  Site // coefficient negative?
+	zigzagLp  Site // zigzag scan loop
+	runZero   Site // zigzag: extend current zero run?
+	runLong   Site // zero run exceeds 15 (ZRL escape)?
+	magLoop   Site // magnitude-class bit loop
+	edgeBlock Site // block at image edge (partial)?
+	noisyPix  Site // synthetic image: noisy region pixel?
+	huffBits  Site // Huffman emission: per-code-bit loop
+	huffEsc   Site // Huffman escape (symbol outside the table)?
+	idctULoop Site // inverse DCT outer loop
+	idctXLoop Site // inverse DCT accumulation loop
+	recErrOK  Site // reconstruction error within quantization bound?
+	qualityHi Site // frame encoded at the high-quality setting?
+}
+
+func newIJPEGSites() *ijpegSites {
+	a := newSiteAllocator(0x0400_0000)
+	return &ijpegSites{
+		rowLoop:   a.back(),
+		colLoop:   a.back(),
+		dctULoop:  a.back(),
+		dctVLoop:  a.back(),
+		dctXLoop:  a.back(),
+		quantZero: a.fwd(),
+		quantNeg:  a.fwd(),
+		zigzagLp:  a.back(),
+		runZero:   a.fwd(),
+		runLong:   a.fwd(),
+		magLoop:   a.back(),
+		edgeBlock: a.fwd(),
+		noisyPix:  a.fwd(),
+		huffBits:  a.back(),
+		huffEsc:   a.fwd(),
+		idctULoop: a.back(),
+		idctXLoop: a.back(),
+		recErrOK:  a.fwd(),
+		qualityHi: a.fwd(),
+	}
+}
+
+// huffLen is a canonical JPEG-like code-length table indexed by
+// (zeroRun<<2 | min(size,3)): frequent symbols get short codes.
+var huffLen = func() [64]int {
+	var t [64]int
+	for run := 0; run < 16; run++ {
+		for size := 0; size < 4; size++ {
+			l := 2 + run/2 + size
+			if l > 12 {
+				l = 12
+			}
+			t[run<<2|size] = l
+		}
+	}
+	return t
+}()
+
+// dctBasis is a fixed-point cosine basis table, built once.
+var dctBasis = func() [blockSize][blockSize]int32 {
+	// Integer approximation of cos((2x+1)*u*pi/16) * 256 for x,u in
+	// [0,8), precomputed to keep generation allocation-free and exact
+	// across platforms (no float math).
+	vals := [blockSize][blockSize]int32{
+		{256, 256, 256, 256, 256, 256, 256, 256},
+		{251, 213, 142, 50, -50, -142, -213, -251},
+		{237, 98, -98, -237, -237, -98, 98, 237},
+		{213, -50, -251, -142, 142, 251, 50, -213},
+		{181, -181, -181, 181, 181, -181, -181, 181},
+		{142, -251, 50, 213, -213, -50, 251, -142},
+		{98, -237, 237, -98, -98, 237, -237, 98},
+		{50, -142, 213, -251, 251, -213, 142, -50},
+	}
+	return vals
+}()
+
+var quantTable = [blockSize * blockSize]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag order for an 8x8 block.
+var zigzagOrder = [blockSize * blockSize]int{
+	0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+func (ijpegWL) Generate(length int) *trace.Trace {
+	s := newIJPEGSites()
+	rng := newPRNG(0x13AE6)
+	return run("ijpeg", length, func(t *Tracer) {
+		img := make([]int32, imgW*imgH)
+		frame := 0
+		for {
+			// Synthesize a frame: smooth gradient plus a noisy band that
+			// moves each frame.
+			noisyRow := (frame * 7) % imgH
+			for y := 0; y < imgH; y++ {
+				for x := 0; x < imgW; x++ {
+					v := int32((x*3 + y*2 + frame*5) % 256)
+					if t.B(s.noisyPix, y >= noisyRow && y < noisyRow+blockSize) {
+						v = int32(rng.intn(256))
+					}
+					img[y*imgW+x] = v - 128
+				}
+			}
+			frame++
+			// Quality alternates in long phases, scaling the quant table
+			// (like encoding alternate frames at different qualities).
+			qshift := int32(0)
+			if !t.B(s.qualityHi, frame%8 < 6) {
+				qshift = 1
+			}
+
+			for by := 0; t.B(s.rowLoop, by < imgH/blockSize); by++ {
+				for bx := 0; t.B(s.colLoop, bx < imgW/blockSize); bx++ {
+					if t.B(s.edgeBlock, by == 0 || bx == 0) {
+						// Edge blocks get DC-only treatment in this
+						// simplified pipeline.
+						continue
+					}
+					var block [blockSize * blockSize]int32
+					for y := 0; y < blockSize; y++ {
+						for x := 0; x < blockSize; x++ {
+							block[y*blockSize+x] = img[(by*blockSize+y)*imgW+bx*blockSize+x]
+						}
+					}
+					// Separable 2D DCT (rows then columns).
+					var coef [blockSize * blockSize]int32
+					for u := 0; t.B(s.dctULoop, u < blockSize); u++ {
+						for v := 0; t.B(s.dctVLoop, v < blockSize); v++ {
+							var acc int64
+							for x := 0; t.B(s.dctXLoop, x < blockSize); x++ {
+								var inner int64
+								for y := 0; y < blockSize; y++ {
+									inner += int64(block[y*blockSize+x]) * int64(dctBasis[v][y])
+								}
+								acc += inner * int64(dctBasis[u][x]) >> 8
+							}
+							coef[v*blockSize+u] = int32(acc >> 10)
+						}
+					}
+					// Quantize.
+					var q [blockSize * blockSize]int32
+					for i := range coef {
+						c := coef[i] / (quantTable[i] << qshift)
+						if t.B(s.quantZero, c == 0) {
+							q[i] = 0
+							continue
+						}
+						if t.B(s.quantNeg, c < 0) {
+							q[i] = -((-c + 1) / 2)
+						} else {
+							q[i] = (c + 1) / 2
+						}
+					}
+					// Zigzag run-length scan with Huffman coding.
+					run := 0
+					for zi := 0; t.B(s.zigzagLp, zi < len(zigzagOrder)); zi++ {
+						c := q[zigzagOrder[zi]]
+						if t.B(s.runZero, c == 0) {
+							run++
+							if t.B(s.runLong, run > 15) {
+								run = 0 // ZRL escape emitted
+							}
+							continue
+						}
+						// Magnitude class: count bits of |c|.
+						mag := c
+						size := 0
+						if mag < 0 {
+							mag = -mag
+						}
+						for t.B(s.magLoop, mag > 0) {
+							mag >>= 1
+							size++
+						}
+						// Huffman-code the (run, size) symbol: escape
+						// rare symbols, emit code bits for the rest.
+						sizeIdx := size
+						if sizeIdx > 3 {
+							sizeIdx = 3
+						}
+						if t.B(s.huffEsc, run >= 16 || size > 10) {
+							run = 0
+							continue
+						}
+						for b := 0; t.B(s.huffBits, b < huffLen[run<<2|sizeIdx]); b++ {
+						}
+						run = 0
+					}
+
+					// Decode path: dequantize and inverse-transform the
+					// block, then check the reconstruction error against
+					// the quantization bound — the verify branches pass
+					// essentially always, like a codec's self-test.
+					var deq [blockSize * blockSize]int32
+					for i := range q {
+						deq[i] = q[i] * 2 * (quantTable[i] << qshift)
+					}
+					maxErr := int32(0)
+					for x := 0; t.B(s.idctULoop, x < blockSize); x++ {
+						for y := 0; y < blockSize; y++ {
+							var acc int64
+							for u := 0; t.B(s.idctXLoop, u < blockSize); u++ {
+								var inner int64
+								for v := 0; v < blockSize; v++ {
+									inner += int64(deq[v*blockSize+u]) * int64(dctBasis[v][y])
+								}
+								acc += inner * int64(dctBasis[u][x]) >> 8
+							}
+							rec := int32(acc >> 14)
+							diff := rec - block[y*blockSize+x]
+							if diff < 0 {
+								diff = -diff
+							}
+							if diff > maxErr {
+								maxErr = diff
+							}
+						}
+					}
+					if !t.B(s.recErrOK, maxErr < 512) {
+						// Large error means a transform bug; tolerated
+						// but counted nowhere — the branch bias is the
+						// point.
+						_ = maxErr
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package workloads
+
+import "branchcorr/internal/trace"
+
+// m88ksimWL stands in for SPECint95 "m88ksim" (124.m88ksim running
+// dcrand.train). It is a real instruction-set simulator: a small RISC CPU
+// (16 registers, load/store, ALU, compare-and-branch) interpreting a
+// fixed machine program — bubble sort plus checksum — over varying data.
+// CPU simulators are among the most predictable benchmarks (~98%): the
+// decoder's opcode-dispatch branches are strongly correlated with the
+// (mostly repetitive) instruction stream, and guard checks almost never
+// fire.
+type m88ksimWL struct{}
+
+func newM88ksim() Workload { return m88ksimWL{} }
+
+func (m88ksimWL) Name() string { return "m88ksim" }
+
+func (m88ksimWL) Description() string {
+	return "RISC CPU simulator with I/D caches interpreting sort/copy programs"
+}
+
+// Opcodes of the simulated ISA.
+const (
+	opHalt = iota
+	opLI   // rd = imm
+	opAdd  // rd = ra + rb
+	opSub  // rd = ra - rb
+	opLW   // rd = mem[ra + imm]
+	opSW   // mem[ra + imm] = rb
+	opBLT  // if ra < rb pc = imm
+	opBGE  // if ra >= rb pc = imm
+	opBNE  // if ra != rb pc = imm
+	opJmp  // pc = imm
+)
+
+type m88kInst struct {
+	op         int
+	rd, ra, rb int
+	imm        int
+}
+
+type m88kSites struct {
+	fetchLoop Site // main interpret loop
+	isHalt    Site // decode: halt?
+	isALU     Site // decode: ALU class (li/add/sub)?
+	isALUAdd  Site // ALU subclass: add?
+	isALULI   Site // ALU subclass: li?
+	isMem     Site // decode: memory class?
+	isLoad    Site // memory subclass: load?
+	memBounds Site // address within memory?
+	isBranch  Site // decode: conditional branch class?
+	brTaken   Site // simulated branch condition true?
+	brBNE     Site // branch subclass: bne?
+	brBLT     Site // branch subclass: blt?
+	regZero   Site // writeback to r0 suppressed?
+	icHit     Site // simulated instruction-cache hit?
+	icFill    Site // cache-line fill loop
+	dcHit     Site // simulated data-cache hit?
+	dcWriteBk Site // data-cache eviction dirty (write-back)?
+}
+
+func newM88kSites() *m88kSites {
+	a := newSiteAllocator(0x0500_0000)
+	return &m88kSites{
+		fetchLoop: a.back(),
+		isHalt:    a.fwd(),
+		isALU:     a.fwd(),
+		isALUAdd:  a.fwd(),
+		isALULI:   a.fwd(),
+		isMem:     a.fwd(),
+		isLoad:    a.fwd(),
+		memBounds: a.fwd(),
+		isBranch:  a.fwd(),
+		brTaken:   a.fwd(),
+		brBNE:     a.fwd(),
+		brBLT:     a.fwd(),
+		regZero:   a.fwd(),
+		icHit:     a.fwd(),
+		icFill:    a.back(),
+		dcHit:     a.fwd(),
+		dcWriteBk: a.fwd(),
+	}
+}
+
+// m88kCopyProgram is a third simulated binary: copy mem[0..N) to
+// mem[N..2N) then compare, the memmove/strcmp idiom.
+// r1=i, r3=N, r4=tmp, r6=diffcount, r7=1.
+func m88kCopyProgram(n int) []m88kInst {
+	return []m88kInst{
+		/* 0*/ {op: opLI, rd: 3, imm: n},
+		/* 1*/ {op: opLI, rd: 7, imm: 1},
+		/* 2*/ {op: opLI, rd: 1, imm: 0},
+		/* 3*/ {op: opBGE, ra: 1, rb: 3, imm: 8}, // copy done?
+		/* 4*/ {op: opLW, rd: 4, ra: 1, imm: 0},
+		/* 5*/ {op: opSW, ra: 1, rb: 4, imm: n},
+		/* 6*/ {op: opAdd, rd: 1, ra: 1, rb: 7},
+		/* 7*/ {op: opJmp, imm: 3},
+		/* 8*/ {op: opLI, rd: 1, imm: 0}, // compare loop
+		/* 9*/ {op: opBGE, ra: 1, rb: 3, imm: 17},
+		/*10*/ {op: opLW, rd: 4, ra: 1, imm: 0},
+		/*11*/ {op: opLW, rd: 5, ra: 1, imm: n},
+		/*12*/ {op: opBNE, ra: 4, rb: 5, imm: 14}, // mismatch?
+		/*13*/ {op: opJmp, imm: 15},
+		/*14*/ {op: opAdd, rd: 6, ra: 6, rb: 7}, // diffcount++
+		/*15*/ {op: opAdd, rd: 1, ra: 1, rb: 7},
+		/*16*/ {op: opJmp, imm: 9},
+		/*17*/ {op: opHalt},
+	}
+}
+
+// m88kProgram is the simulated binary: bubble-sort mem[0..N-1] ascending,
+// then checksum. Registers: r1=i, r2=j, r3=N, r4/r5=a/b, r6=sum, r7=1,
+// r8=N-1, r9=N-1-i.
+func m88kProgram(n int) []m88kInst {
+	return []m88kInst{
+		/* 0*/ {op: opLI, rd: 3, imm: n},
+		/* 1*/ {op: opLI, rd: 7, imm: 1},
+		/* 2*/ {op: opLI, rd: 1, imm: 0}, // i = 0
+		/* 3*/ {op: opSub, rd: 8, ra: 3, rb: 7}, // outer: r8 = N-1
+		/* 4*/ {op: opBGE, ra: 1, rb: 8, imm: 17}, // i >= N-1: goto sum
+		/* 5*/ {op: opLI, rd: 2, imm: 0}, // j = 0
+		/* 6*/ {op: opSub, rd: 9, ra: 8, rb: 1}, // inner: r9 = N-1-i
+		/* 7*/ {op: opBGE, ra: 2, rb: 9, imm: 15}, // j >= N-1-i: next outer
+		/* 8*/ {op: opLW, rd: 4, ra: 2, imm: 0}, // a = mem[j]
+		/* 9*/ {op: opLW, rd: 5, ra: 2, imm: 1}, // b = mem[j+1]
+		/*10*/ {op: opBGE, ra: 5, rb: 4, imm: 13}, // b >= a: skip swap
+		/*11*/ {op: opSW, ra: 2, rb: 5, imm: 0}, // mem[j] = b
+		/*12*/ {op: opSW, ra: 2, rb: 4, imm: 1}, // mem[j+1] = a
+		/*13*/ {op: opAdd, rd: 2, ra: 2, rb: 7}, // j++
+		/*14*/ {op: opJmp, imm: 6},
+		/*15*/ {op: opAdd, rd: 1, ra: 1, rb: 7}, // i++
+		/*16*/ {op: opJmp, imm: 3},
+		/*17*/ {op: opLI, rd: 2, imm: 0}, // sum: k = 0
+		/*18*/ {op: opBGE, ra: 2, rb: 3, imm: 23},
+		/*19*/ {op: opLW, rd: 4, ra: 2, imm: 0},
+		/*20*/ {op: opAdd, rd: 6, ra: 6, rb: 4},
+		/*21*/ {op: opAdd, rd: 2, ra: 2, rb: 7},
+		/*22*/ {op: opJmp, imm: 18},
+		/*23*/ {op: opHalt},
+	}
+}
+
+// m88kSwapProgram is a second simulated binary: insertion-style pass that
+// swaps out-of-order neighbors repeatedly until clean.
+func m88kSwapProgram(n int) []m88kInst {
+	return []m88kInst{
+		/* 0*/ {op: opLI, rd: 3, imm: n - 1},
+		/* 1*/ {op: opLI, rd: 7, imm: 1},
+		/* 2*/ {op: opLI, rd: 10, imm: 0}, // swapped flag
+		/* 3*/ {op: opLI, rd: 2, imm: 0}, // j = 0
+		/* 4*/ {op: opBGE, ra: 2, rb: 3, imm: 13},
+		/* 5*/ {op: opLW, rd: 4, ra: 2, imm: 0},
+		/* 6*/ {op: opLW, rd: 5, ra: 2, imm: 1},
+		/* 7*/ {op: opBGE, ra: 5, rb: 4, imm: 11}, // b >= a: skip swap
+		/* 8*/ {op: opSW, ra: 2, rb: 5, imm: 0}, // swap
+		/* 9*/ {op: opSW, ra: 2, rb: 4, imm: 1},
+		/*10*/ {op: opAdd, rd: 10, ra: 10, rb: 7}, // swapped++
+		/*11*/ {op: opAdd, rd: 2, ra: 2, rb: 7}, // j++
+		/*12*/ {op: opJmp, imm: 4},
+		/*13*/ {op: opBNE, ra: 10, rb: 0, imm: 2}, // another pass if swapped
+		/*14*/ {op: opHalt},
+	}
+}
+
+const m88kMemSize = 64
+
+func (m88ksimWL) Generate(length int) *trace.Trace {
+	s := newM88kSites()
+	rng := newPRNG(0x88)
+	return run("m88ksim", length, func(t *Tracer) {
+		var mem [m88kMemSize]int
+		var reg [16]int
+		progA := m88kProgram(24)
+		progB := m88kSwapProgram(24)
+		progC := m88kCopyProgram(24)
+		round := 0
+		// Simulated direct-mapped instruction cache: 8 lines of 4
+		// instructions. The hot loops fit, so hits dominate — the
+		// biased structure a real ISA simulator's fetch path has.
+		var icTags [8]int
+		var dcTags [8]int
+		var dcDirty [8]bool
+		for i := range icTags {
+			icTags[i] = -1
+			dcTags[i] = -1
+		}
+		// dcAccess models a tiny direct-mapped write-back data cache.
+		dcAccess := func(addr int, write bool) {
+			line := addr >> 2
+			set := line % 8
+			if !t.B(s.dcHit, dcTags[set] == line) {
+				if t.B(s.dcWriteBk, dcDirty[set]) {
+					dcDirty[set] = false // write back the victim
+				}
+				dcTags[set] = line
+			}
+			if write {
+				dcDirty[set] = true
+			}
+		}
+		for {
+			prog := progA
+			switch round % 3 {
+			case 1:
+				prog = progB
+			case 2:
+				prog = progC
+			}
+			round++
+			for i := 0; i < 24; i++ {
+				mem[i] = rng.intn(1000)
+			}
+			for i := range reg {
+				reg[i] = 0
+			}
+			pc := 0
+			for steps := 0; t.B(s.fetchLoop, steps < 200000); steps++ {
+				line := pc >> 2
+				if !t.B(s.icHit, icTags[line%8] == line) {
+					for w := 0; t.B(s.icFill, w < 4); w++ {
+						// line fill (modeled)
+					}
+					icTags[line%8] = line
+				}
+				inst := prog[pc]
+				pc++
+				if t.B(s.isHalt, inst.op == opHalt) {
+					break
+				}
+				if t.B(s.isALU, inst.op == opLI || inst.op == opAdd || inst.op == opSub) {
+					v := 0
+					if t.B(s.isALULI, inst.op == opLI) {
+						v = inst.imm
+					} else if t.B(s.isALUAdd, inst.op == opAdd) {
+						v = reg[inst.ra] + reg[inst.rb]
+					} else {
+						v = reg[inst.ra] - reg[inst.rb]
+					}
+					if t.B(s.regZero, inst.rd == 0) {
+						continue
+					}
+					reg[inst.rd] = v
+					continue
+				}
+				if t.B(s.isMem, inst.op == opLW || inst.op == opSW) {
+					addr := reg[inst.ra] + inst.imm
+					if !t.B(s.memBounds, addr >= 0 && addr < m88kMemSize) {
+						break // fault: stop this run
+					}
+					if t.B(s.isLoad, inst.op == opLW) {
+						dcAccess(addr, false)
+						reg[inst.rd] = mem[addr]
+					} else {
+						dcAccess(addr, true)
+						mem[addr] = reg[inst.rb]
+					}
+					continue
+				}
+				if t.B(s.isBranch, inst.op == opBLT || inst.op == opBGE || inst.op == opBNE) {
+					taken := false
+					if t.B(s.brBNE, inst.op == opBNE) {
+						taken = reg[inst.ra] != reg[inst.rb]
+					} else if t.B(s.brBLT, inst.op == opBLT) {
+						taken = reg[inst.ra] < reg[inst.rb]
+					} else {
+						taken = reg[inst.ra] >= reg[inst.rb]
+					}
+					if t.B(s.brTaken, taken) {
+						pc = inst.imm
+					}
+					continue
+				}
+				// opJmp
+				pc = inst.imm
+			}
+		}
+	})
+}

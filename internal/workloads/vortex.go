@@ -1,0 +1,272 @@
+package workloads
+
+import "branchcorr/internal/trace"
+
+// vortexWL stands in for SPECint95 "vortex" (147.vortex, an
+// object-oriented database). It is a real in-memory object store: typed
+// records inserted into hash-bucketed tables with chained collision
+// lists, looked up, updated, deleted, and periodically integrity-checked.
+// Database engines are the most predictable SPECint95 branch populations
+// (~99%): validation branches virtually never fire, chains are almost
+// always short, and type dispatch is heavily skewed.
+type vortexWL struct{}
+
+func newVortex() Workload { return vortexWL{} }
+
+func (vortexWL) Name() string { return "vortex" }
+
+func (vortexWL) Description() string {
+	return "object database: hashed store, B-tree index, transaction log, integrity scans"
+}
+
+type vortexSites struct {
+	txnLoop    Site // per-transaction loop
+	opInsert   Site // transaction type: insert?
+	opLookup   Site // transaction type: lookup?
+	opDelete   Site // transaction type: delete?
+	chainWalk  Site // bucket chain traversal loop
+	chainMatch Site // chain node id matches?
+	dupInsert  Site // inserting an existing id?
+	kindPerson Site // record kind dispatch: person?
+	kindPart   Site // record kind dispatch: part?
+	validLoop  Site // integrity-scan bucket loop
+	validChain Site // integrity-scan chain loop
+	validOK    Site // invariant holds? (always)
+	grow       Site // table load factor exceeded?
+	freeList   Site // node free-list non-empty?
+	idxKind    Site // scanned record has the queried kind?
+	idxLive    Site // scanned id still present in the primary table?
+	logLoop    Site // transaction-log verification loop
+	logOK      Site // log entry checksum consistent? (always)
+	btRootFull Site // B-tree root split needed?
+	btAppend   Site // B-tree descent: append fast path (ascending keys)?
+	btDescend  Site // B-tree descent: key comparison loop
+	btLeaf     Site // B-tree descent reached a leaf?
+	btSplit    Site // B-tree child full (preemptive split)?
+	btScan     Site // B-tree range-scan entry loop
+	btInRange  Site // scanned key within the query range?
+}
+
+func newVortexSites() *vortexSites {
+	a := newSiteAllocator(0x0700_0000)
+	return &vortexSites{
+		txnLoop:    a.back(),
+		opInsert:   a.fwd(),
+		opLookup:   a.fwd(),
+		opDelete:   a.fwd(),
+		chainWalk:  a.back(),
+		chainMatch: a.fwd(),
+		dupInsert:  a.fwd(),
+		kindPerson: a.fwd(),
+		kindPart:   a.fwd(),
+		validLoop:  a.back(),
+		validChain: a.back(),
+		validOK:    a.fwd(),
+		grow:       a.fwd(),
+		freeList:   a.fwd(),
+		idxKind:    a.fwd(),
+		idxLive:    a.fwd(),
+		logLoop:    a.back(),
+		logOK:      a.fwd(),
+		btRootFull: a.fwd(),
+		btAppend:   a.fwd(),
+		btDescend:  a.back(),
+		btLeaf:     a.fwd(),
+		btSplit:    a.fwd(),
+		btScan:     a.back(),
+		btInRange:  a.fwd(),
+	}
+}
+
+type vortexRecord struct {
+	id      uint32
+	kind    uint8 // 0 person, 1 part, 2 order
+	payload uint32
+	next    *vortexRecord
+}
+
+const vortexBuckets = 256
+
+type vortexDB struct {
+	t       *Tracer
+	s       *vortexSites
+	buckets [vortexBuckets]*vortexRecord
+	size    int
+	free    *vortexRecord
+}
+
+func (db *vortexDB) bucket(id uint32) int {
+	return int(id*2654435761) % vortexBuckets
+}
+
+// find walks the chain for id, returning the record or nil.
+func (db *vortexDB) find(id uint32) *vortexRecord {
+	n := db.buckets[db.bucket(id)]
+	for db.t.B(db.s.chainWalk, n != nil) {
+		if db.t.B(db.s.chainMatch, n.id == id) {
+			return n
+		}
+		n = n.next
+	}
+	return nil
+}
+
+func (db *vortexDB) insert(id uint32, kind uint8, payload uint32) {
+	if db.t.B(db.s.dupInsert, db.find(id) != nil) {
+		return
+	}
+	var n *vortexRecord
+	if db.t.B(db.s.freeList, db.free != nil) {
+		n = db.free
+		db.free = n.next
+	} else {
+		n = &vortexRecord{}
+	}
+	b := db.bucket(id)
+	*n = vortexRecord{id: id, kind: kind, payload: payload, next: db.buckets[b]}
+	db.buckets[b] = n
+	db.size++
+}
+
+func (db *vortexDB) delete(id uint32) {
+	b := db.bucket(id)
+	var prev *vortexRecord
+	n := db.buckets[b]
+	for db.t.B(db.s.chainWalk, n != nil) {
+		if db.t.B(db.s.chainMatch, n.id == id) {
+			if prev == nil {
+				db.buckets[b] = n.next
+			} else {
+				prev.next = n.next
+			}
+			n.next = db.free
+			db.free = n
+			db.size--
+			return
+		}
+		prev = n
+		n = n.next
+	}
+}
+
+// validate is the vortex-style integrity pass: every record's id must
+// hash to its bucket and payload checksums must be consistent. These
+// branches pass essentially always.
+func (db *vortexDB) validate() int {
+	bad := 0
+	for b := 0; db.t.B(db.s.validLoop, b < vortexBuckets/8); b++ {
+		n := db.buckets[b]
+		for db.t.B(db.s.validChain, n != nil) {
+			if !db.t.B(db.s.validOK, db.bucket(n.id) == b && n.kind <= 2) {
+				bad++
+			}
+			n = n.next
+		}
+	}
+	return bad
+}
+
+func (vortexWL) Generate(length int) *trace.Trace {
+	s := newVortexSites()
+	rng := newPRNG(0x50B7E)
+	return run("vortex", length, func(t *Tracer) {
+		db := &vortexDB{t: t, s: s}
+		nextID := uint32(1)
+		oldest := uint32(1)
+		// Transactions arrive in the phased batches typical of database
+		// benchmarks: insert bursts, then lookup-heavy traffic against
+		// recent records, a thin delete stream, and periodic integrity
+		// scans. The op-dispatch branches are therefore strongly biased
+		// within each phase (and phase-periodic overall) — the structure
+		// that makes vortex the most predictable SPECint95 benchmark —
+		// rather than per-transaction coin flips.
+		var hot [8]uint32 // hot-key working set, as in real DB traffic
+		// Ordered secondary index (B-tree keyed by id) and a transaction
+		// log ring with per-entry checksums.
+		index := newVortexBTree(t, s)
+		var logRing [128]uint32
+		logPos := 0
+		for phase := 0; ; phase++ {
+			insertPhase := phase%4 == 0
+			for i := 0; t.B(s.txnLoop, i < 48); i++ {
+				if t.B(s.opInsert, insertPhase || rng.chance(1, 16)) {
+					kind := uint8(0)
+					if r := rng.intn(32); r >= 30 {
+						kind = 1
+						if r == 31 {
+							kind = 2
+						}
+					}
+					if t.B(s.kindPerson, kind == 0) {
+						db.insert(nextID, 0, rng.next())
+					} else if t.B(s.kindPart, kind == 1) {
+						db.insert(nextID, 1, rng.next()&0xFFFF)
+					} else {
+						db.insert(nextID, 2, 0)
+					}
+					index.insert(nextID, kind)
+					logRing[logPos%len(logRing)] = nextID*2654435761 + uint32(kind)
+					logPos++
+					if rng.chance(1, 4) {
+						hot[int(nextID)%len(hot)] = nextID
+					}
+					nextID++
+				} else if t.B(s.opLookup, !rng.chance(1, 12)) {
+					// Mostly hot keys (repeating the same short chain
+					// walks), occasionally a cold recent record.
+					id := hot[rng.intn(len(hot))]
+					if rng.chance(1, 10) && nextID > oldest {
+						id = oldest + uint32(rng.intn(int(nextID-oldest)))
+					}
+					if id != 0 {
+						db.find(id)
+					}
+				} else if t.B(s.opDelete, true) {
+					if nextID > oldest {
+						db.delete(oldest)
+						oldest++
+					}
+				}
+				if t.B(s.grow, db.size > vortexBuckets/2) {
+					// Shed the oldest stripe to keep chains short.
+					for k := 0; k < 64 && oldest < nextID; k++ {
+						db.delete(oldest)
+						oldest++
+					}
+				}
+			}
+			// Range scan through the ordered index every few phases:
+			// count live person records in the most recent id window.
+			if phase%4 == 2 {
+				live := 0
+				scanLo := uint32(1)
+				if nextID > 96 {
+					scanLo = nextID - 96
+				}
+				index.scan(scanLo, nextID, func(id uint32, kind uint8) {
+					if !t.B(s.idxKind, kind == 0) {
+						return
+					}
+					if t.B(s.idxLive, db.find(id) != nil) {
+						live++
+					}
+				})
+				_ = live
+			}
+			// Verify the transaction log checksums (always consistent).
+			limit := logPos
+			if limit > len(logRing) {
+				limit = len(logRing)
+			}
+			bad := 0
+			for i := 0; t.B(s.logLoop, i < limit); i++ {
+				entry := logRing[i]
+				if !t.B(s.logOK, entry != 0xDEADBEEF) {
+					bad++
+				}
+			}
+			_ = bad
+			db.validate()
+		}
+	})
+}

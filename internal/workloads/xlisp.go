@@ -1,0 +1,415 @@
+package workloads
+
+import "branchcorr/internal/trace"
+
+// xlispWL stands in for SPECint95 "xlisp" (130.li running train.lsp, a
+// Lisp interpreter). It is a real miniature Lisp: arena-allocated cons
+// cells reclaimed by a mark-sweep collector, an environment of bindings,
+// and a recursive evaluator running list and arithmetic programs (fib,
+// sum-list, count-less, member) over varying inputs. Interpreter branch populations sit in the middle of the
+// difficulty range (~95%): type-dispatch branches are skewed but the
+// recursion mixes contexts, which is where global correlation helps.
+type xlispWL struct{}
+
+func newXlisp() Workload { return xlispWL{} }
+
+func (xlispWL) Name() string { return "xlisp" }
+
+func (xlispWL) Description() string {
+	return "mini Lisp interpreter with mark-sweep GC running recursive list programs"
+}
+
+// Lisp ops (symbols are pre-interned to small integers).
+const (
+	lNum   = iota // atom: number
+	lNil          // atom: nil
+	lCons         // cons cell
+	lSym          // atom: symbol (variable reference)
+	lQuote        // atom: quoted datum (eval returns car unevaluated)
+	lIf           // special form markers used as car symbols
+	lAdd
+	lSub
+	lLess
+	lEq
+	lCarOp
+	lCdrOp
+	lConsOp
+	lNullOp
+	lCall // user function call: (call fnIndex arg)
+)
+
+type lispVal struct {
+	tag    int
+	num    int
+	sym    int
+	car    *lispVal
+	cdr    *lispVal
+	marked bool
+}
+
+type xlispSites struct {
+	allocFree  Site // allocator: free-list hit?
+	gcTrigger  Site // collection due at this program boundary?
+	gcMarkLoop Site // mark stack non-empty?
+	gcMarked   Site // cell already marked?
+	gcMarkCons Site // marked cell has children to push?
+	gcSweep    Site // sweep loop over the arena
+	gcDead     Site // cell unreachable (reclaimed)?
+	evalAtom   Site // eval: value is an atom?
+	evalNum    Site // atom: number?
+	evalNil    Site // atom: nil?
+	evalSym    Site // atom: symbol? (env lookup)
+	envWalk    Site // environment chain walk loop
+	envMatch   Site // binding matches symbol?
+	formIf     Site // form dispatch: if?
+	formArith  Site // form dispatch: arithmetic?
+	formAdd    Site // arithmetic subclass: add?
+	formList   Site // form dispatch: list op?
+	formCarCdr Site // list subclass: car/cdr?
+	formNull   Site // list subclass: null??
+	ifTrue     Site // if condition non-nil?
+	lessTrue   Site // (< a b) true?
+	callDepth  Site // recursion depth guard
+	nullArg    Site // car/cdr of nil guard
+	progLoop   Site // per-program driver loop
+	fibBase    Site // driver: fib base case reached? (in-program data)
+	listBuild  Site // list constructor loop
+	eqTrue     Site // (= a b) comparison true?
+}
+
+func newXlispSites() *xlispSites {
+	a := newSiteAllocator(0x0800_0000)
+	return &xlispSites{
+		allocFree:  a.fwd(),
+		gcTrigger:  a.fwd(),
+		gcMarkLoop: a.back(),
+		gcMarked:   a.fwd(),
+		gcMarkCons: a.fwd(),
+		gcSweep:    a.back(),
+		gcDead:     a.fwd(),
+		evalAtom:   a.fwd(),
+		evalNum:    a.fwd(),
+		evalNil:    a.fwd(),
+		evalSym:    a.fwd(),
+		envWalk:    a.back(),
+		envMatch:   a.fwd(),
+		formIf:     a.fwd(),
+		formArith:  a.fwd(),
+		formAdd:    a.fwd(),
+		formList:   a.fwd(),
+		formCarCdr: a.fwd(),
+		formNull:   a.fwd(),
+		ifTrue:     a.fwd(),
+		lessTrue:   a.fwd(),
+		callDepth:  a.fwd(),
+		nullArg:    a.fwd(),
+		progLoop:   a.back(),
+		fibBase:    a.fwd(),
+		listBuild:  a.back(),
+		eqTrue:     a.fwd(),
+	}
+}
+
+type lispEnv struct {
+	sym  int
+	val  *lispVal
+	next *lispEnv
+}
+
+type lispMachine struct {
+	t     *Tracer
+	s     *xlispSites
+	nilV  *lispVal
+	depth int
+	// user functions: body expressions with symbol 0 as the parameter.
+	fns []*lispVal
+
+	// Cell arena with mark-sweep collection (xlisp's own memory manager,
+	// exercised at program boundaries). blocks grow when the free list
+	// and arena are both exhausted mid-evaluation.
+	blocks    [][]lispVal
+	usedLast  int // cells used in the last block
+	free      []*lispVal
+	allocated int // cells handed out since the last collection
+}
+
+const lispBlockSize = 4096
+
+// alloc hands out a cell from the free list or the arena.
+func (m *lispMachine) alloc() *lispVal {
+	if m.t.B(m.s.allocFree, len(m.free) > 0) {
+		v := m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		*v = lispVal{}
+		m.allocated++
+		return v
+	}
+	if len(m.blocks) == 0 || m.usedLast == lispBlockSize {
+		m.blocks = append(m.blocks, make([]lispVal, lispBlockSize))
+		m.usedLast = 0
+	}
+	b := m.blocks[len(m.blocks)-1]
+	v := &b[m.usedLast]
+	m.usedLast++
+	m.allocated++
+	return v
+}
+
+// collect runs a stop-the-world mark-sweep over the arena with the given
+// roots (called between program evaluations, when the only live data are
+// the interned function bodies).
+func (m *lispMachine) collect(roots []*lispVal) {
+	// Mark.
+	stack := append([]*lispVal(nil), roots...)
+	for m.t.B(m.s.gcMarkLoop, len(stack) > 0) {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == nil {
+			continue
+		}
+		if m.t.B(m.s.gcMarked, v.marked) {
+			continue
+		}
+		v.marked = true
+		if m.t.B(m.s.gcMarkCons, v.car != nil || v.cdr != nil) {
+			stack = append(stack, v.car, v.cdr)
+		}
+	}
+	// Sweep.
+	m.free = m.free[:0]
+	for bi, b := range m.blocks {
+		limit := lispBlockSize
+		if bi == len(m.blocks)-1 {
+			limit = m.usedLast
+		}
+		for i := 0; m.t.B(m.s.gcSweep, i < limit); i++ {
+			v := &b[i]
+			if m.t.B(m.s.gcDead, !v.marked) {
+				m.free = append(m.free, v)
+			} else {
+				v.marked = false
+			}
+		}
+	}
+	m.allocated = 0
+}
+
+func (m *lispMachine) num(n int) *lispVal {
+	v := m.alloc()
+	v.tag = lNum
+	v.num = n
+	return v
+}
+
+func (m *lispMachine) cons(car, cdr *lispVal) *lispVal {
+	v := m.alloc()
+	v.tag = lCons
+	v.car = car
+	v.cdr = cdr
+	return v
+}
+
+func (m *lispMachine) sym(s int) *lispVal {
+	v := m.alloc()
+	v.tag = lSym
+	v.sym = s
+	return v
+}
+
+// form builds (op a b) as a cons chain with op in the car's sym.
+func (m *lispMachine) form(op int, a, b *lispVal) *lispVal {
+	return m.cons(m.sym(op), m.cons(a, m.cons(b, m.nilV)))
+}
+
+func (m *lispMachine) lookup(env *lispEnv, sym int) *lispVal {
+	for m.t.B(m.s.envWalk, env != nil) {
+		if m.t.B(m.s.envMatch, env.sym == sym) {
+			return env.val
+		}
+		env = env.next
+	}
+	return m.nilV
+}
+
+// eval is the interpreter core.
+func (m *lispMachine) eval(v *lispVal, env *lispEnv) *lispVal {
+	if m.t.B(m.s.evalAtom, v.tag != lCons) {
+		if m.t.B(m.s.evalNum, v.tag == lNum) {
+			return v
+		}
+		if m.t.B(m.s.evalNil, v.tag == lNil) {
+			return m.nilV
+		}
+		if m.t.B(m.s.evalSym, v.tag == lSym && v.sym < lIf) {
+			return m.lookup(env, v.sym)
+		}
+		if v.tag == lQuote {
+			return v.car
+		}
+		return v
+	}
+	op := v.car
+	args := v.cdr
+	arg1 := args.car
+	var arg2 *lispVal = m.nilV
+	if args.cdr.tag == lCons {
+		arg2 = args.cdr.car
+	}
+	if m.t.B(m.s.formIf, op.sym == lIf) {
+		cond := m.eval(arg1, env)
+		var arg3 *lispVal = m.nilV
+		if args.cdr.tag == lCons && args.cdr.cdr.tag == lCons {
+			arg3 = args.cdr.cdr.car
+		}
+		if m.t.B(m.s.ifTrue, cond.tag != lNil && !(cond.tag == lNum && cond.num == 0)) {
+			return m.eval(arg2, env)
+		}
+		return m.eval(arg3, env)
+	}
+	if m.t.B(m.s.formArith, op.sym == lAdd || op.sym == lSub || op.sym == lLess || op.sym == lEq) {
+		a := m.eval(arg1, env)
+		b := m.eval(arg2, env)
+		if m.t.B(m.s.formAdd, op.sym == lAdd) {
+			return m.num(a.num + b.num)
+		}
+		if op.sym == lSub {
+			return m.num(a.num - b.num)
+		}
+		if op.sym == lEq {
+			if m.t.B(m.s.eqTrue, a.tag == b.tag && a.num == b.num) {
+				return m.num(1)
+			}
+			return m.nilV
+		}
+		if m.t.B(m.s.lessTrue, a.num < b.num) {
+			return m.num(1)
+		}
+		return m.nilV
+	}
+	if m.t.B(m.s.formList, op.sym == lCarOp || op.sym == lCdrOp || op.sym == lConsOp || op.sym == lNullOp) {
+		a := m.eval(arg1, env)
+		if m.t.B(m.s.formCarCdr, op.sym == lCarOp || op.sym == lCdrOp) {
+			if m.t.B(m.s.nullArg, a.tag != lCons) {
+				return m.nilV
+			}
+			if op.sym == lCarOp {
+				return a.car
+			}
+			return a.cdr
+		}
+		if m.t.B(m.s.formNull, op.sym == lNullOp) {
+			if a.tag == lNil {
+				return m.num(1)
+			}
+			return m.nilV
+		}
+		b := m.eval(arg2, env)
+		return m.cons(a, b)
+	}
+	// (call fn arg): apply user function op.sym==lCall, arg1=fn index.
+	if m.t.B(m.s.callDepth, m.depth > 64) {
+		return m.nilV
+	}
+	m.depth++
+	argV := m.eval(arg2, env)
+	body := m.fns[arg1.num]
+	res := m.eval(body, &lispEnv{sym: 0, val: argV, next: env})
+	m.depth--
+	return res
+}
+
+// callForm builds (call fnIdx arg).
+func (m *lispMachine) callForm(fn int, arg *lispVal) *lispVal {
+	return m.form(lCall, m.num(fn), arg)
+}
+
+func (xlispWL) Generate(length int) *trace.Trace {
+	s := newXlispSites()
+	rng := newPRNG(0x115B)
+	return run("xlisp", length, func(t *Tracer) {
+		m := &lispMachine{t: t, s: s, nilV: &lispVal{tag: lNil}}
+		x := m.sym(0) // the function parameter
+
+		// fn 0: (fib x) = if x<2 then x else fib(x-1)+fib(x-2)
+		m.fns = append(m.fns, m.form(lIf,
+			m.form(lLess, x, m.num(2)),
+			x))
+		m.fns[0].cdr.cdr.cdr = m.cons(m.form(lAdd,
+			m.callForm(0, m.form(lSub, x, m.num(1))),
+			m.callForm(0, m.form(lSub, x, m.num(2)))), m.nilV)
+
+		// fn 1: (sum x) = if (null x) then 0 else (car x) + (sum (cdr x))
+		m.fns = append(m.fns, m.form(lIf,
+			m.form(lNullOp, x, m.nilV),
+			m.num(0)))
+		m.fns[1].cdr.cdr.cdr = m.cons(m.form(lAdd,
+			m.form(lCarOp, x, m.nilV),
+			m.callForm(1, m.form(lCdrOp, x, m.nilV))), m.nilV)
+
+		// fn 2: (count-less x) walks a list counting elements < 50.
+		m.fns = append(m.fns, m.form(lIf,
+			m.form(lNullOp, x, m.nilV),
+			m.num(0)))
+		m.fns[2].cdr.cdr.cdr = m.cons(m.form(lAdd,
+			m.form(lIf,
+				m.form(lLess, m.form(lCarOp, x, m.nilV), m.num(50)),
+				m.num(1)),
+			m.callForm(2, m.form(lCdrOp, x, m.nilV))), m.nilV)
+		// give the inner if its else-branch (0)
+		inner := m.fns[2].cdr.cdr.cdr.car.cdr.car
+		inner.cdr.cdr.cdr = m.cons(m.num(0), m.nilV)
+
+		// fn 3: (member pair) — pair = (needle . list); walks the list
+		// comparing each element to the needle.
+		carX := m.form(lCarOp, x, m.nilV)
+		cdrX := m.form(lCdrOp, x, m.nilV)
+		m.fns = append(m.fns, m.form(lIf,
+			m.form(lNullOp, cdrX, m.nilV),
+			m.nilV))
+		hit := m.form(lIf,
+			m.form(lEq, m.form(lCarOp, cdrX, m.nilV), carX),
+			m.num(1))
+		hit.cdr.cdr.cdr = m.cons(
+			m.callForm(3, m.form(lConsOp, carX, m.form(lCdrOp, cdrX, m.nilV))),
+			m.nilV)
+		m.fns[3].cdr.cdr.cdr = m.cons(hit, m.nilV)
+
+		for round := 0; ; round++ {
+			// Collect at program boundaries once enough cells were handed
+			// out; the only live data between programs are the interned
+			// function bodies.
+			if t.B(s.gcTrigger, m.allocated > lispBlockSize) {
+				m.collect(m.fns)
+			}
+			if t.B(s.progLoop, round%3 == 0) {
+				n := 6 + rng.intn(6)
+				if t.B(s.fibBase, n < 8) {
+					n += 2
+				}
+				m.eval(m.callForm(0, m.num(n)), nil)
+			} else {
+				// Build a random list and fold it twice.
+				lst := m.nilV
+				ln := 5 + rng.intn(20)
+				for i := 0; t.B(s.listBuild, i < ln); i++ {
+					lst = m.cons(m.num(rng.intn(100)), lst)
+				}
+				m.eval(m.callForm(1, m.quote(lst)), nil)
+				m.eval(m.callForm(2, m.quote(lst)), nil)
+				// Membership probe: usually absent (values < 100, probe
+				// sometimes outside that range).
+				needle := m.num(rng.intn(130))
+				m.eval(m.callForm(3, m.form(lConsOp, needle, m.quote(lst))), nil)
+			}
+		}
+	})
+}
+
+// quote wraps a pre-built datum so eval returns it as-is (a bare cons
+// would otherwise be evaluated as a form).
+func (m *lispMachine) quote(v *lispVal) *lispVal {
+	q := m.alloc()
+	q.tag = lQuote
+	q.car = v
+	return q
+}
