@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build vet test race lint bench
+
+# check is the full gate CI runs: compile, vet, race-enabled tests, and
+# the repo's own static-analysis suite (cmd/bplint).
+check: build vet race lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/bplint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

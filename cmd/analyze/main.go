@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -34,13 +35,17 @@ func main() {
 		top       = flag.Int("top", 5, "hardest branches to explain")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
 
 	tr, err := loadTrace(*tracePath, *workload, *n)
 	if err != nil {
 		fatal(err)
 	}
 	stats := trace.Summarize(tr)
-	fmt.Printf("== %s: %d dynamic branches over %d static sites, %.1f%% taken\n\n",
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "== %s: %d dynamic branches over %d static sites, %.1f%% taken\n\n",
 		tr.Name(), stats.Dynamic, stats.Static, 100*stats.TakenRate())
 
 	// 1. Accuracy landscape.
@@ -53,28 +58,28 @@ func main() {
 		bp.NewIFPAs(16),
 		bp.NewHybrid(bp.NewGshare(16), bp.NewPAs(12, 10, 6), 12),
 	)
-	fmt.Println("predictor accuracies:")
+	fmt.Fprintln(w, "predictor accuracies:")
 	for _, r := range rs {
-		fmt.Printf("  %-42s %8.4f%%\n", r.Predictor, 100*r.Accuracy())
+		fmt.Fprintf(w, "  %-42s %8.4f%%\n", r.Predictor, 100*r.Accuracy())
 	}
 	gshare := rs[2]
 
 	// 2. Per-address predictability classes (§4.1).
 	cl := core.ClassifyPerAddress(tr, core.ClassifyConfig{})
-	fmt.Println("\nper-address predictability classes (dynamic-weighted):")
+	fmt.Fprintln(w, "\nper-address predictability classes (dynamic-weighted):")
 	for c := core.ClassStatic; c <= core.ClassNonRepeating; c++ {
-		fmt.Printf("  %-22s %6.2f%%\n", c, 100*cl.Frac(c))
+		fmt.Fprintf(w, "  %-22s %6.2f%%\n", c, 100*cl.Frac(c))
 	}
-	fmt.Printf("  (%.0f%% of the unclassified branches are >99%% biased)\n",
+	fmt.Fprintf(w, "  (%.0f%% of the unclassified branches are >99%% biased)\n",
 		100*cl.StaticHighBiasFrac())
 
 	// 3. Ceilings: how much predictability exists at all?
 	local := entropy.LocalCeilings(tr, 12)
 	global := entropy.GlobalCeilings(tr, 12)
-	fmt.Printf("\nstatic-table predictability ceilings (12-bit contexts):\n")
-	fmt.Printf("  local-history ceiling  %6.2f%%   (IF PAs achieves %.2f%%)\n",
+	fmt.Fprintf(w, "\nstatic-table predictability ceilings (12-bit contexts):\n")
+	fmt.Fprintf(w, "  local-history ceiling  %6.2f%%   (IF PAs achieves %.2f%%)\n",
 		100*local.Weighted[12], 100*rs[5].Accuracy())
-	fmt.Printf("  global-history ceiling %6.2f%%   (IF gshare achieves %.2f%%)\n",
+	fmt.Fprintf(w, "  global-history ceiling %6.2f%%   (IF gshare achieves %.2f%%)\n",
 		100*global.Weighted[12], 100*rs[4].Accuracy())
 
 	// 4. Hardest branches and their oracle-selected correlations (§3).
@@ -97,15 +102,15 @@ func main() {
 	}
 	sels := core.BuildSelective(tr, core.OracleConfig{})
 	sel3 := sim.RunOne(tr, core.NewSelective("sel3", 16, sels.BySize[3]))
-	fmt.Printf("\nhardest %d branches under gshare, with oracle-selected correlations:\n", *top)
+	fmt.Fprintf(w, "\nhardest %d branches under gshare, with oracle-selected correlations:\n", *top)
 	for _, h := range hardest[:*top] {
-		fmt.Printf("  0x%08x: gshare %.2f%%, class %s, 3-ref selective %.2f%% via",
+		fmt.Fprintf(w, "  0x%08x: gshare %.2f%%, class %s, 3-ref selective %.2f%% via",
 			uint32(h.pc), 100*gshare.Branch(h.pc).Accuracy(),
 			cl.Class[h.pc], 100*sel3.Branch(h.pc).Accuracy())
 		for _, ref := range sels.BySize[3][h.pc] {
-			fmt.Printf(" %s", ref)
+			fmt.Fprintf(w, " %s", ref)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// 5. Warmup behavior: accuracy over time.
@@ -125,15 +130,18 @@ func main() {
 				ys[pi][i] = 100 * a
 			}
 		}
-		fmt.Println()
-		fmt.Print(textplot.Lines("accuracy over time (training behavior)", xs, names, ys, "accuracy %"))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, textplot.Lines("accuracy over time (training behavior)", xs, names, ys, "accuracy %"))
 	}
 
 	// 6. What it means for the pipeline.
 	m := perfmodel.DefaultMachine
 	best := rs[6].Accuracy()
-	fmt.Printf("\npipeline impact (4-wide, 5-cycle flush): gshare IPC %.3f, hybrid IPC %.3f (%.2fx)\n",
+	fmt.Fprintf(w, "\npipeline impact (4-wide, 5-cycle flush): gshare IPC %.3f, hybrid IPC %.3f (%.2fx)\n",
 		m.IPC(gshare.Accuracy()), m.IPC(best), m.Speedup(gshare.Accuracy(), best))
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func loadTrace(path, workload string, n int) (*trace.Trace, error) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,9 @@ func main() {
 	)
 	flag.Var(&specs, "p", "predictor spec (repeatable; see -specs)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
 
 	if *listSpecs {
 		for _, s := range bp.KnownSpecs() {
@@ -89,9 +93,10 @@ func main() {
 			fatal(err)
 		}
 		stats := trace.Summarize(tr)
+		env := bp.Env{Stats: stats, Trace: tr}
 		predictors := make([]bp.Predictor, len(specs))
 		for i, s := range specs {
-			p, err := bp.Parse(s, stats)
+			p, err := bp.ParseEnv(s, env)
 			if err != nil {
 				fatal(err)
 			}
@@ -101,15 +106,19 @@ func main() {
 		header = fmt.Sprintf("trace %s: %d dynamic branches, %d static sites",
 			tr.Name(), stats.Dynamic, stats.Static)
 	}
-	fmt.Println(header)
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintln(w, header)
 	for _, r := range results {
-		fmt.Printf("  %-40s %8.4f%%  (%d mispredictions)\n",
+		fmt.Fprintf(w, "  %-40s %8.4f%%  (%d mispredictions)\n",
 			r.Predictor, 100*r.Accuracy(), r.Mispredictions())
 	}
 	if *perBranch {
 		for _, r := range results {
-			printPerBranch(r, *top)
+			printPerBranch(w, r, *top)
 		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
 	}
 }
 
@@ -133,8 +142,8 @@ func loadTrace(path, workload string, n int) (*trace.Trace, error) {
 	}
 }
 
-func printPerBranch(r *sim.Result, top int) {
-	fmt.Printf("per-branch, %s (top %d by mispredictions):\n", r.Predictor, top)
+func printPerBranch(w *bufio.Writer, r *sim.Result, top int) {
+	fmt.Fprintf(w, "per-branch, %s (top %d by mispredictions):\n", r.Predictor, top)
 	type row struct {
 		pc     trace.Addr
 		acc    sim.BranchAcc
@@ -154,7 +163,7 @@ func printPerBranch(r *sim.Result, top int) {
 		top = len(rows)
 	}
 	for _, rw := range rows[:top] {
-		fmt.Printf("  0x%08x  %8d execs  %7.3f%%  %d misses\n",
+		fmt.Fprintf(w, "  0x%08x  %8d execs  %7.3f%%  %d misses\n",
 			uint32(rw.pc), rw.acc.Total, 100*rw.acc.Accuracy(), rw.misses)
 	}
 }

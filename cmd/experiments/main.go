@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"branchcorr/internal/experiments"
 )
@@ -35,14 +34,20 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of rendered text")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
 
 	cfg := experiments.Config{Length: *n}
 	if *wls != "" {
 		cfg.Workloads = strings.Split(*wls, ",")
 	}
+	// Progress goes to stderr without timestamps: the report itself must be
+	// byte-identical across runs, and wall-clock reads are banned
+	// module-wide by bplint's det-time rule.
 	logf := func(format string, args ...any) {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s] %s\n", time.Now().Format("15:04:05"), fmt.Sprintf(format, args...))
+			fmt.Fprintf(os.Stderr, "experiments: %s\n", fmt.Sprintf(format, args...))
 		}
 	}
 	suite, err := experiments.NewSuite(cfg, logf)
@@ -84,7 +89,6 @@ func main() {
 		if !want[e] {
 			continue
 		}
-		start := time.Now()
 		var out string
 		switch e {
 		case "table1":
@@ -132,7 +136,7 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown exhibit %q (have %s)", e, strings.Join(exhibitOrder, ",")))
 		}
-		logf("%s done in %.1fs", e, time.Since(start).Seconds())
+		logf("%s done", e)
 		if !*asJSON {
 			fmt.Println(out)
 		}

@@ -28,6 +28,9 @@ func main() {
 		dir      = flag.String("dir", ".", "output directory for -all")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
 
 	if *list {
 		for _, w := range workloads.All() {

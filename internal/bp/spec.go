@@ -29,10 +29,28 @@ import (
 //	perceptron:HISTLEN,TABLEBITS
 //	tournament:LOCALHIST,LOCALBHT,GLOBALHIST,CHOOSERBITS
 //	tage
+//	profiled-gshare:HISTBITS         (requires a profiling trace)
 //	hybrid:(SPEC),(SPEC),CHOOSERBITS
 //
 // stats may be nil unless the spec needs profiling (ideal-static).
+// Specs needing the full trace (profiled-gshare) must go through
+// ParseEnv.
 func Parse(spec string, stats *trace.Stats) (Predictor, error) {
+	return ParseEnv(spec, Env{Stats: stats})
+}
+
+// Env carries the profiling context specs may require: summary
+// statistics for ideal-static, the full trace for statically-filled
+// (profiled) predictors. Either field may be nil; specs needing an
+// absent field fail with a descriptive error.
+type Env struct {
+	Stats *trace.Stats
+	Trace *trace.Trace
+}
+
+// ParseEnv builds a predictor from a textual spec with explicit
+// profiling context (see Parse for the grammar).
+func ParseEnv(spec string, env Env) (Predictor, error) {
 	name, args, _ := strings.Cut(spec, ":")
 	name = strings.TrimSpace(name)
 	ints := func(want int) ([]uint, error) {
@@ -58,10 +76,10 @@ func Parse(spec string, stats *trace.Stats) (Predictor, error) {
 	case "btfnt":
 		return BTFNT{}, nil
 	case "ideal-static":
-		if stats == nil {
+		if env.Stats == nil {
 			return nil, fmt.Errorf("bp: ideal-static needs trace statistics")
 		}
-		return NewIdealStatic(stats), nil
+		return NewIdealStatic(env.Stats), nil
 	case "bimodal":
 		a, err := ints(1)
 		if err != nil {
@@ -149,6 +167,15 @@ func Parse(spec string, stats *trace.Stats) (Predictor, error) {
 			return nil, fmt.Errorf("bp: tage takes no arguments (uses the default geometry)")
 		}
 		return NewTAGEDefault(), nil
+	case "profiled-gshare":
+		a, err := ints(1)
+		if err != nil {
+			return nil, err
+		}
+		if env.Trace == nil {
+			return nil, fmt.Errorf("bp: profiled-gshare needs the full profiling trace (unavailable when streaming)")
+		}
+		return NewProfiledGshare(env.Trace, a[0]), nil
 	case "tournament":
 		a, err := ints(4)
 		if err != nil {
@@ -160,11 +187,11 @@ func Parse(spec string, stats *trace.Stats) (Predictor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bp: spec %q: %v", spec, err)
 		}
-		a, err := Parse(specA, stats)
+		a, err := ParseEnv(specA, env)
 		if err != nil {
 			return nil, err
 		}
-		b, err := Parse(specB, stats)
+		b, err := ParseEnv(specB, env)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +249,7 @@ func KnownSpecs() []string {
 		"bimodal:14", "gshare:16", "ifgshare:16", "gas:12,4",
 		"pas:12,10,6", "ifpas:16", "path:8,14", "loop", "block",
 		"fixedk:4", "finite-loop:8,4", "bimode:14,12", "yags:13,11", "gskew:13",
-		"perceptron:24,10", "tournament:10,10,12,12", "tage",
+		"perceptron:24,10", "tournament:10,10,12,12", "tage", "profiled-gshare:16",
 		"hybrid:(gshare:14),(pas:12,10,6),12",
 	}
 }

@@ -44,9 +44,9 @@ func TestParseValidSpecs(t *testing.T) {
 func TestParseEveryKnownSpec(t *testing.T) {
 	tr := trace.New("t", 0)
 	tr.Append(trace.Record{PC: 1, Taken: true})
-	stats := trace.Summarize(tr)
+	env := Env{Stats: trace.Summarize(tr), Trace: tr}
 	for _, spec := range KnownSpecs() {
-		if _, err := Parse(spec, stats); err != nil {
+		if _, err := ParseEnv(spec, env); err != nil {
 			t.Errorf("KnownSpecs entry %q does not parse: %v", spec, err)
 		}
 	}
@@ -75,5 +75,8 @@ func TestParseErrors(t *testing.T) {
 	}
 	if _, err := Parse("ideal-static", nil); err == nil || !strings.Contains(err.Error(), "statistics") {
 		t.Errorf("ideal-static without stats: %v", err)
+	}
+	if _, err := Parse("profiled-gshare:16", nil); err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Errorf("profiled-gshare without trace: %v", err)
 	}
 }

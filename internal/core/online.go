@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"branchcorr/internal/bp"
 	"branchcorr/internal/trace"
@@ -143,8 +144,11 @@ func (p *OnlineSelective) Update(r trace.Record) {
 // (correlation OR anti-correlation is equally exploitable by the pattern
 // table).
 func (p *OnlineSelective) reselect(st *onlineState) {
-	best := make([]Ref, 0, p.refs)
-	bestDev := make([]int, 0, p.refs)
+	type scored struct {
+		ref Ref
+		dev int
+	}
+	qualified := make([]scored, 0, len(st.scores))
 	for ref, sc := range st.scores {
 		agree, total := int(sc[0]), int(sc[1])
 		if total < 48 {
@@ -159,26 +163,22 @@ func (p *OnlineSelective) reselect(st *onlineState) {
 		if dev < 256 {
 			continue
 		}
-		// Insertion into the top list, deterministically tie-broken.
-		pos := len(best)
-		for i := range best {
-			if dev > bestDev[i] || (dev == bestDev[i] && refLess(ref, best[i])) {
-				pos = i
-				break
-			}
+		qualified = append(qualified, scored{ref, dev})
+	}
+	// Total order (deviation, then ref identity) so the adopted set never
+	// depends on map iteration order.
+	sort.Slice(qualified, func(i, j int) bool {
+		if qualified[i].dev != qualified[j].dev {
+			return qualified[i].dev > qualified[j].dev
 		}
-		if pos < p.refs {
-			best = append(best, Ref{})
-			bestDev = append(bestDev, 0)
-			copy(best[pos+1:], best[pos:])
-			copy(bestDev[pos+1:], bestDev[pos:])
-			best[pos] = ref
-			bestDev[pos] = dev
-			if len(best) > p.refs {
-				best = best[:p.refs]
-				bestDev = bestDev[:p.refs]
-			}
-		}
+		return refLess(qualified[i].ref, qualified[j].ref)
+	})
+	if len(qualified) > p.refs {
+		qualified = qualified[:p.refs]
+	}
+	best := make([]Ref, len(qualified))
+	for i, q := range qualified {
+		best[i] = q.ref
 	}
 	if sameRefs(best, st.refs) {
 		return

@@ -109,7 +109,15 @@ func (p *branchProfile) prune(maxKeep int) {
 		pres := cs.cnt[0][0] + cs.cnt[0][1] + cs.cnt[1][0] + cs.cnt[1][1]
 		all = append(all, kv{ref, pres})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].pres > all[j].pres })
+	// Total order (presence, then ref identity): equal-presence ties must
+	// not be broken by map iteration order, or the surviving candidate set
+	// would differ run to run.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pres != all[j].pres {
+			return all[i].pres > all[j].pres
+		}
+		return refLess(all[i].ref, all[j].ref)
+	})
 	for _, e := range all[maxKeep:] {
 		delete(p.cands, e.ref)
 	}

@@ -14,6 +14,7 @@ package entropy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"branchcorr/internal/trace"
 )
@@ -115,8 +116,13 @@ func ceilings(t *trace.Trace, maxK int, k kind) *Result {
 		Weighted:     make([]float64, maxK+1),
 		WeightedBits: make([]float64, maxK+1),
 	}
+	// Aggregate in sorted branch (and context) order: float addition is
+	// not associative, so summing in map iteration order would make the
+	// weighted ceilings differ in their low bits from run to run.
+	pcs := make([]trace.Addr, 0, len(totals))
 	grand := 0
 	for pc, total := range totals {
+		pcs = append(pcs, pc)
 		res.PerBranch[pc] = &Ceiling{
 			Best:  make([]float64, maxK+1),
 			Bits:  make([]float64, maxK+1),
@@ -124,12 +130,22 @@ func ceilings(t *trace.Trace, maxK int, k kind) *Result {
 		}
 		grand += total
 	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	for kk := 0; kk <= maxK; kk++ {
-		for pc, m := range counts[kk] {
+		grandBest := 0
+		grandBits := 0.0
+		for _, pc := range pcs {
+			m := counts[kk][pc]
 			c := res.PerBranch[pc]
+			ctxs := make([]uint32, 0, len(m))
+			for ctx := range m {
+				ctxs = append(ctxs, ctx)
+			}
+			sort.Slice(ctxs, func(i, j int) bool { return ctxs[i] < ctxs[j] })
 			best := 0
 			bits := 0.0
-			for _, cnt := range m {
+			for _, ctx := range ctxs {
+				cnt := m[ctx]
 				maj := cnt[0]
 				if cnt[1] > maj {
 					maj = cnt[1]
@@ -140,11 +156,11 @@ func ceilings(t *trace.Trace, maxK int, k kind) *Result {
 			}
 			c.Best[kk] = float64(best) / float64(c.Total)
 			c.Bits[kk] = bits / float64(c.Total)
-			res.Weighted[kk] += float64(best)
-			res.WeightedBits[kk] += bits
+			grandBest += best
+			grandBits += bits
 		}
-		res.Weighted[kk] /= float64(grand)
-		res.WeightedBits[kk] /= float64(grand)
+		res.Weighted[kk] = float64(grandBest) / float64(grand)
+		res.WeightedBits[kk] = grandBits / float64(grand)
 	}
 	return res
 }

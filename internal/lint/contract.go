@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// The predictor-contract rule family enforces the two-level update
+// discipline the paper's methodology assumes (§3–4): a predictor is
+// consulted (Predict) before the outcome is known and trained (Update)
+// after it resolves, for every committed branch. A type exposing one
+// half of that protocol silently breaks every harness that drives it.
+
+// predictorShape classifies a named type's Predict/Update methods.
+type predictorShape struct {
+	predict *types.Func // Predict(T) bool, or nil
+	update  *types.Func // Update(T), or nil
+}
+
+// shapeOf inspects the method set of *N for the contract's two methods.
+// The shapes are structural — one parameter, bool result for Predict, no
+// result for Update — so the rule works on fixture packages that do not
+// import the real trace package.
+func shapeOf(named *types.Named) predictorShape {
+	var s predictorShape
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		switch fn.Name() {
+		case "Predict":
+			if sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+				isBool(sig.Results().At(0).Type()) {
+				s.predict = fn
+			}
+		case "Update":
+			if sig.Params().Len() == 1 && sig.Results().Len() == 0 {
+				s.update = fn
+			}
+		}
+	}
+	return s
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// namedTypes returns the package's non-interface named types in
+// declaration-name order.
+func namedTypes(pkg *Package) []*types.Named {
+	scope := pkg.Types.Scope()
+	var out []*types.Named
+	for _, name := range scope.Names() { // Names() is sorted
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		out = append(out, named)
+	}
+	return out
+}
+
+// contractRule: every concrete type implementing Predict must implement
+// Update and vice versa, with matching parameter types.
+type contractRule struct{}
+
+func (contractRule) ID() string { return "bp-contract" }
+func (contractRule) Doc() string {
+	return "concrete types must implement Predict and Update together, with matching parameter types"
+}
+
+func (r contractRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") {
+		return nil
+	}
+	var out []Finding
+	for _, named := range namedTypes(pkg) {
+		tn := named.Obj()
+		s := shapeOf(named)
+		switch {
+		case s.predict != nil && s.update == nil:
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(tn.Pos()),
+				Rule: r.ID(),
+				Msg:  fmt.Sprintf("type %s implements Predict but not Update; two-level predictors must train the state they consult", tn.Name()),
+			})
+		case s.update != nil && s.predict == nil:
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(tn.Pos()),
+				Rule: r.ID(),
+				Msg:  fmt.Sprintf("type %s implements Update but not Predict; training state that is never consulted hides dead predictor logic", tn.Name()),
+			})
+		case s.predict != nil && s.update != nil:
+			pp := s.predict.Type().(*types.Signature).Params().At(0).Type()
+			up := s.update.Type().(*types.Signature).Params().At(0).Type()
+			if !types.Identical(pp, up) {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(tn.Pos()),
+					Rule: r.ID(),
+					Msg:  fmt.Sprintf("type %s: Predict takes %s but Update takes %s; both halves of the contract must see the same record", tn.Name(), pp, up),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// registryRule: in a package holding a spec.go registry (internal/bp),
+// every exported predictor type must be reachable from it — referenced
+// directly or returned by a constructor the registry calls. An
+// unregistered predictor cannot be selected by any experiment spec, so
+// its results silently fall out of every exhibit.
+type registryRule struct{}
+
+func (registryRule) ID() string { return "bp-registry" }
+func (registryRule) Doc() string {
+	return "exported predictor types must be reachable from the spec.go registry"
+}
+
+func (r registryRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") {
+		return nil
+	}
+	var specFiles []*ast.File
+	for _, file := range pkg.Files {
+		if filepath.Base(pkg.Fset.Position(file.Pos()).Filename) == "spec.go" {
+			specFiles = append(specFiles, file)
+		}
+	}
+	if len(specFiles) == 0 {
+		return nil
+	}
+
+	// Objects the registry mentions: type names used directly, plus the
+	// named result types (possibly behind a pointer) of every function it
+	// calls or references.
+	reached := make(map[*types.TypeName]bool)
+	markType := func(t types.Type) {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			reached[named.Obj()] = true
+		}
+	}
+	for _, file := range specFiles {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch obj := pkg.Info.Uses[id].(type) {
+			case *types.TypeName:
+				reached[obj] = true
+			case *types.Func:
+				sig := obj.Type().(*types.Signature)
+				for i := 0; i < sig.Results().Len(); i++ {
+					markType(sig.Results().At(i).Type())
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, named := range namedTypes(pkg) {
+		tn := named.Obj()
+		if !tn.Exported() {
+			continue
+		}
+		s := shapeOf(named)
+		if s.predict == nil || s.update == nil {
+			continue // not a predictor
+		}
+		if reached[tn] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(tn.Pos()),
+			Rule: r.ID(),
+			Msg:  fmt.Sprintf("predictor %s is not reachable from the spec.go registry; add a Parse case (and KnownSpecs entry) or unexport it", tn.Name()),
+		})
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by position for deterministic rule output
+// (Run re-sorts globally; this keeps per-rule output stable too).
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+}

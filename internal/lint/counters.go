@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// counterRule flags raw ++/-- on variables or fields whose names follow
+// the repo's saturating-counter conventions (ctr, counter, conf). The
+// paper's predictors are built on 2-bit saturating counters (Smith
+// 1981); an unguarded increment wraps 3 -> 0, flipping a
+// strongly-taken entry to strongly-not-taken in one update and silently
+// corrupting measured misprediction rates. An inc/dec is accepted when
+// an enclosing if guards the same expression with a bounds comparison,
+// or when it lives inside a recognized saturate helper.
+type counterRule struct{}
+
+func (counterRule) ID() string { return "ctr-saturate" }
+func (counterRule) Doc() string {
+	return "forbid unguarded ++/-- on saturating-counter-named fields (ctr/counter/conf); wrap-around corrupts predictor state"
+}
+
+// counterName reports whether a field/variable name follows the
+// saturating-counter naming conventions. "config"-like names are
+// explicitly not counters.
+func counterName(name string) bool {
+	n := strings.ToLower(name)
+	if strings.Contains(n, "config") {
+		return false
+	}
+	return strings.Contains(n, "ctr") || strings.Contains(n, "counter") || strings.Contains(n, "conf")
+}
+
+// saturateHelper reports whether a function name marks a recognized
+// saturation helper, where raw arithmetic is the implementation.
+func saturateHelper(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "saturat") || strings.Contains(n, "clamp") || n == "next"
+}
+
+func (r counterRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") && !pkg.hasSegment("cmd") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			inc, ok := n.(*ast.IncDecStmt)
+			if !ok {
+				return true
+			}
+			name := terminalName(inc.X)
+			if !counterName(name) {
+				return true
+			}
+			// Only integer-typed operands can wrap (be permissive about
+			// named integer types like Counter2).
+			if tv, ok := pkg.Info.Types[inc.X]; ok {
+				if b, isBasic := tv.Type.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsInteger == 0 {
+					return true
+				}
+			}
+			if r.guarded(pkg, inc, stack) {
+				return true
+			}
+			op := "++"
+			if inc.Tok == token.DEC {
+				op = "--"
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(inc.Pos()),
+				Rule: r.ID(),
+				Msg:  fmt.Sprintf("raw %s%s on saturating-counter-like %q can wrap around; guard with a bounds check or use a saturate helper", types.ExprString(inc.X), op, name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// guarded walks the enclosing nodes looking for (a) an if statement
+// whose condition compares the same expression against a bound, or (b)
+// an enclosing saturate helper function.
+func (r counterRule) guarded(pkg *Package, inc *ast.IncDecStmt, stack []ast.Node) bool {
+	target := types.ExprString(inc.X)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch enc := stack[i].(type) {
+		case *ast.IfStmt:
+			if condMentionsBound(enc.Cond, target) {
+				return true
+			}
+		case *ast.FuncDecl:
+			return saturateHelper(enc.Name.Name)
+		case *ast.FuncLit:
+			return false // literals are never saturate helpers
+		}
+	}
+	return false
+}
+
+// condMentionsBound reports whether the condition contains a comparison
+// with the target expression on either side.
+func condMentionsBound(cond ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			if types.ExprString(be.X) == target || types.ExprString(be.Y) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The determinism rule family guards the paper's core methodological
+// requirement: running the same predictor over the same trace must
+// produce bit-identical misprediction counts on every run and platform
+// (Evers et al. §3–4 compare predictors at fractions of a percent; any
+// run-to-run jitter would drown the effects being measured).
+
+// detTimeRule forbids wall-clock reads (time.Now and the helpers built
+// on it) inside the simulator and its commands. Timestamps in output
+// make runs non-reproducible and diffs noisy; anything needing elapsed
+// time must take an injected clock.
+type detTimeRule struct{}
+
+func (detTimeRule) ID() string { return "det-time" }
+func (detTimeRule) Doc() string {
+	return "forbid time.Now/Since/Until under internal/ and cmd/ (wall-clock reads break reproducibility)"
+}
+
+func (r detTimeRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") && !pkg.hasSegment("cmd") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range []string{"Now", "Since", "Until"} {
+				if isPkgFunc(pkg, call, "time", name) {
+					out = append(out, Finding{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: r.ID(),
+						Msg:  fmt.Sprintf("time.%s reads the wall clock; simulator output must be reproducible (inject a clock or drop the timestamp)", name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// detRandRule forbids the process-global math/rand functions (rand.Intn,
+// rand.Float64, ...). They draw from shared, auto-seeded state, so two
+// runs — or two goroutines — see different streams. Constructing an
+// explicitly seeded generator (rand.New(rand.NewSource(seed))) is fine,
+// as are the repo's own deterministic PRNGs.
+type detRandRule struct{}
+
+func (detRandRule) ID() string { return "det-rand" }
+func (detRandRule) Doc() string {
+	return "forbid global math/rand top-level functions (unseeded shared state); use rand.New(rand.NewSource(seed))"
+}
+
+// detRandAllowed are math/rand package functions that only construct
+// explicitly seeded generators.
+var detRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 constructors
+}
+
+func (r detRandRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") && !pkg.hasSegment("cmd") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are fine
+			}
+			if detRandAllowed[fn.Name()] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(call.Pos()),
+				Rule: r.ID(),
+				Msg:  fmt.Sprintf("global rand.%s draws from process-global auto-seeded state; use rand.New(rand.NewSource(seed)) or a local PRNG", fn.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// detMapOrderRule flags map iteration whose body feeds order-sensitive
+// sinks: appending to a slice that outlives the loop without a later
+// sort, printing or JSON-encoding inside the loop, or accumulating
+// floating-point values (float addition is not associative, so the sum's
+// low bits depend on Go's randomized map order). Aggregating integers or
+// writing into another map is order-independent and not flagged.
+type detMapOrderRule struct{}
+
+func (detMapOrderRule) ID() string { return "det-map-order" }
+func (detMapOrderRule) Doc() string {
+	return "forbid map iteration feeding ordered output (unsorted appends, prints, JSON, float accumulation)"
+}
+
+func (r detMapOrderRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") && !pkg.hasSegment("cmd") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			out = append(out, r.checkFunc(pkg, body)...)
+		})
+	}
+	return out
+}
+
+// sortCall is one "sorts slice X" call site within a function.
+type sortCall struct {
+	pos token.Pos
+	arg string // types.ExprString of the sorted slice
+}
+
+func (r detMapOrderRule) checkFunc(pkg *Package, body *ast.BlockStmt) []Finding {
+	// Collect every sort call in the function first, then require each
+	// map-fed append to be followed (positionally) by a sort of the same
+	// slice.
+	var sorts []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		isSort := (path == "sort" && (strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Slice" ||
+			fn.Name() == "SliceStable" || fn.Name() == "Stable" ||
+			fn.Name() == "Strings" || fn.Name() == "Ints" || fn.Name() == "Float64s")) ||
+			(path == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if isSort {
+			sorts = append(sorts, sortCall{pos: call.Pos(), arg: types.ExprString(call.Args[0])})
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		out = append(out, r.checkMapLoop(pkg, rng, sorts)...)
+		return true
+	})
+	return out
+}
+
+// checkMapLoop inspects one range-over-map body. Nested range statements
+// are left to their own checkMapLoop invocation (the outer walk visits
+// them too), except that sinks inside a nested loop still belong to the
+// outer iteration and are reported once, by the innermost map loop.
+func (r detMapOrderRule) checkMapLoop(pkg *Package, rng *ast.RangeStmt, sorts []sortCall) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(pos),
+			Rule: r.ID(),
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		// Skip nested map loops: their sinks are reported when the outer
+		// walk reaches them, avoiding duplicate findings.
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rng {
+			if tv, ok := pkg.Info.Types[inner.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != 1 || len(v.Rhs) != 1 {
+				return true
+			}
+			lhs := v.Lhs[0]
+			switch v.Tok {
+			case token.ASSIGN, token.DEFINE:
+				// s = append(s, ...) accumulating across iterations.
+				call, ok := ast.Unparen(v.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" ||
+					pkg.Info.Uses[id] != types.Universe.Lookup("append") {
+					return true
+				}
+				if !r.escapesLoop(pkg, lhs, rng) {
+					return true
+				}
+				target := types.ExprString(lhs)
+				for _, s := range sorts {
+					if s.arg == target && s.pos > v.Pos() {
+						return true // sorted afterwards: order restored
+					}
+				}
+				report(v.Pos(), "append to %q inside map iteration without a later sort; iteration order is randomized", target)
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				tv, ok := pkg.Info.Types[lhs]
+				if !ok || !isFloat(tv.Type) || !r.escapesLoop(pkg, lhs, rng) {
+					return true
+				}
+				report(v.Pos(), "floating-point accumulation into %q over map iteration order is not bit-reproducible; iterate sorted keys or accumulate integers", types.ExprString(lhs))
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pkg, v)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+				report(v.Pos(), "fmt.%s inside map iteration emits output in randomized order; collect and sort first", name)
+			case path == "encoding/json" && (name == "Marshal" || name == "MarshalIndent" || name == "Encode"):
+				report(v.Pos(), "json.%s inside map iteration emits output in randomized order; collect and sort first", name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// escapesLoop reports whether the assignment target's root variable is
+// declared outside the range statement — i.e. the accumulated value
+// survives the loop, so its order matters. Loop-local slices (built and
+// consumed per key) are exempt.
+func (r detMapOrderRule) escapesLoop(pkg *Package, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	id := rootIdent(lhs)
+	if id == nil {
+		return true // conservative: unknown root, assume it escapes
+	}
+	obj := objectOf(pkg, id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rng.Pos()
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreIndex records, per file and line, the rule ids suppressed by
+// //bplint:ignore comments. A comment suppresses findings on its own
+// line (trailing comment) and on the line directly below it (standalone
+// comment above the offending statement).
+type ignoreIndex map[string]map[int][]string
+
+// buildIgnoreIndex scans every comment of the package.
+func buildIgnoreIndex(pkg *Package) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				ids := parseIgnore(c.Text)
+				if ids == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], ids...)
+			}
+		}
+	}
+	return idx
+}
+
+// parseIgnore extracts the suppressed rule ids from one comment, or nil
+// if it is not an ignore directive. Accepted forms:
+//
+//	//bplint:ignore rule-id
+//	//bplint:ignore rule-a,rule-b optional free-text reason
+//	//bplint:ignore all
+func parseIgnore(text string) []string {
+	rest, ok := strings.CutPrefix(text, "//bplint:ignore")
+	if !ok {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var ids []string
+	for _, id := range strings.Split(fields[0], ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// suppressed reports whether the finding is covered by an ignore
+// directive on its line or the line above.
+func (idx ignoreIndex) suppressed(f Finding) bool {
+	m := idx[f.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, id := range m[line] {
+			if id == f.Rule || id == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

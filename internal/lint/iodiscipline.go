@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The I/O-discipline rule family keeps reporting concerns in cmd/:
+// library packages compute and return results; only commands render them
+// and decide process exit. That separation is what lets the same
+// experiment code back the CLI, the JSON report, and the tests.
+
+// ioPrintRule forbids terminal output and process exit inside internal/
+// packages: fmt.Print*, fmt.Fprint* aimed at os.Stdout/os.Stderr,
+// log.Fatal*/log.Panic*, and os.Exit.
+type ioPrintRule struct{}
+
+func (ioPrintRule) ID() string { return "io-print" }
+func (ioPrintRule) Doc() string {
+	return "forbid fmt.Print*/os.Exit/terminal writes inside internal/ (reporting belongs to cmd/)"
+}
+
+func (r ioPrintRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") {
+		return nil
+	}
+	var out []Finding
+	report := func(call *ast.CallExpr, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(call.Pos()),
+			Rule: r.ID(),
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path, name := fn.Pkg().Path(), fn.Name()
+			switch {
+			case path == "fmt" && (name == "Print" || name == "Printf" || name == "Println"):
+				report(call, "fmt.%s writes to the terminal from a library package; return the string and let cmd/ print it", name)
+			case path == "fmt" && strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 &&
+				isStdStream(types.ExprString(call.Args[0])):
+				report(call, "fmt.%s to %s from a library package; reporting belongs to cmd/", name, types.ExprString(call.Args[0]))
+			case path == "os" && name == "Exit":
+				report(call, "os.Exit inside internal/ kills the caller (and skips deferred cleanup); return an error instead")
+			case path == "log" && (strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") || strings.HasPrefix(name, "Print")):
+				report(call, "log.%s from a library package writes to the process-global logger; return an error instead", name)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isStdStream(expr string) bool {
+	return expr == "os.Stdout" || expr == "os.Stderr"
+}
+
+// errcheckRule flags statement-position calls whose error result is
+// silently discarded. A dropped write or encode error means a truncated
+// trace file or JSON report that looks complete. Exemptions follow the
+// conventions real error-check linters use: the fmt print family
+// (stdout/stderr diagnostics), and writers that cannot fail or that
+// latch their error for a later checked Flush (strings.Builder,
+// bytes.Buffer, bufio.Writer).
+type errcheckRule struct{}
+
+func (errcheckRule) ID() string { return "io-errcheck" }
+func (errcheckRule) Doc() string {
+	return "forbid discarding error results in statement position (file writes, JSON encoding, closes)"
+}
+
+func (r errcheckRule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") && !pkg.hasSegment("cmd") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !lastResultIsError(pkg, call) || r.exempt(pkg, call) {
+				return true
+			}
+			name := types.ExprString(call.Fun)
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(call.Pos()),
+				Rule: r.ID(),
+				Msg:  fmt.Sprintf("error result of %s is discarded; handle it or assign to _ deliberately", name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// lastResultIsError reports whether the call's final result is of type
+// error.
+func lastResultIsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// exempt lists the conventional never-checked calls.
+func (r errcheckRule) exempt(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if path == "fmt" && strings.HasPrefix(name, "Print") {
+		return true // stdout diagnostics
+	}
+	if path == "fmt" && strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		if isStdStream(types.ExprString(call.Args[0])) {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[call.Args[0]]; ok && latchingWriter(tv.Type) {
+			return true
+		}
+	}
+	// Methods on writers that cannot fail or latch errors until Flush
+	// (Flush itself is never exempt).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && name != "Flush" {
+		if latchingWriter(sig.Recv().Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// latchingWriter reports whether t is one of the writer types whose
+// write methods never return a meaningful error at the call site.
+func latchingWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+// Package lint is the repo's custom static-analysis engine (driven by
+// cmd/bplint). It loads every package of the module with go/parser and
+// go/types — no dependencies beyond the standard library — and enforces
+// the invariants the paper reproduction rests on: bit-for-bit determinism
+// of the simulator, the two-level Predict/Update contract, saturating-
+// counter hygiene, and I/O discipline. DESIGN.md §"Static analysis &
+// invariants" documents each rule and the paper-level property it
+// protects.
+//
+// Findings can be suppressed with a comment on the offending line or the
+// line directly above it:
+//
+//	x := sloppy() //bplint:ignore det-time legitimate wall-clock use
+//	//bplint:ignore io-print,io-errcheck
+//	fmt.Println("debug")
+//
+// The comment names one rule id, a comma-separated list, or "all".
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a rule.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders the finding in the canonical "file:line: [rule] msg"
+// form the driver prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Rule is one named check run over a type-checked package.
+type Rule interface {
+	// ID is the stable rule identifier used by -rules selection and
+	// //bplint:ignore comments.
+	ID() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Check inspects one package and returns its findings.
+	Check(pkg *Package) []Finding
+}
+
+// AllRules returns the full rule set in reporting order.
+func AllRules() []Rule {
+	return []Rule{
+		detTimeRule{},
+		detRandRule{},
+		detMapOrderRule{},
+		contractRule{},
+		registryRule{},
+		counterRule{},
+		ioPrintRule{},
+		errcheckRule{},
+	}
+}
+
+// SelectRules resolves a comma-separated id list ("" or "all" selects
+// every rule).
+func SelectRules(ids string) ([]Rule, error) {
+	all := AllRules()
+	if ids == "" || ids == "all" {
+		return all, nil
+	}
+	byID := make(map[string]Rule, len(all))
+	for _, r := range all {
+		byID[r.ID()] = r
+	}
+	var out []Rule
+	for _, id := range strings.Split(ids, ",") {
+		id = strings.TrimSpace(id)
+		r, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", id, strings.Join(RuleIDs(), ","))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RuleIDs lists every rule id in reporting order.
+func RuleIDs() []string {
+	all := AllRules()
+	out := make([]string, len(all))
+	for i, r := range all {
+		out[i] = r.ID()
+	}
+	return out
+}
+
+// Run applies the rules to every package and returns the surviving
+// findings, ordered by file, line, and rule. Findings matched by a
+// //bplint:ignore comment are dropped.
+func Run(pkgs []*Package, rules []Rule) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ignores := buildIgnoreIndex(pkg)
+		for _, rule := range rules {
+			for _, f := range rule.Check(pkg) {
+				if ignores.suppressed(f) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// hasSegment reports whether the package import path contains the given
+// path segment (e.g. "internal" or "cmd"), which is how rules scope
+// themselves to the simulator proper and its commands.
+func (p *Package) hasSegment(seg string) bool {
+	for _, s := range strings.Split(p.Path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

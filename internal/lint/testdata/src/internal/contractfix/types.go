@@ -1,0 +1,45 @@
+// Package contractfix seeds predictor-contract and registry violations
+// for the bplint fixture tests. The shapes mirror internal/bp without
+// importing it: Predict(T) bool consults state, Update(T) trains it.
+package contractfix
+
+// Rec is the fixture stand-in for trace.Record.
+type Rec struct {
+	Taken bool
+}
+
+// Good implements the full contract and is registered in spec.go.
+type Good struct{ state bool }
+
+func (g *Good) Predict(r Rec) bool { return g.state }
+func (g *Good) Update(r Rec)       { g.state = r.Taken }
+
+// PredictOnly consults state it never trains.
+type PredictOnly struct{} // want bp-contract
+
+func (PredictOnly) Predict(r Rec) bool { return true }
+
+// UpdateOnly trains state it never consults.
+type UpdateOnly struct{} // want bp-contract
+
+func (UpdateOnly) Update(r Rec) {}
+
+// Mismatched trains a different record type than it consults. It is
+// registered in spec.go, so only the contract rule fires.
+type Mismatched struct{} // want bp-contract
+
+func (Mismatched) Predict(r Rec) bool { return false }
+func (Mismatched) Update(n int)       {}
+
+// Orphan implements the contract but no spec.go case reaches it, so no
+// experiment spec can ever select it.
+type Orphan struct{ state bool } // want bp-registry
+
+func (o *Orphan) Predict(r Rec) bool { return o.state }
+func (o *Orphan) Update(r Rec)       { o.state = r.Taken }
+
+// hidden is unexported: registry reachability does not apply.
+type hidden struct{ state bool }
+
+func (h *hidden) Predict(r Rec) bool { return h.state }
+func (h *hidden) Update(r Rec)       { h.state = r.Taken }

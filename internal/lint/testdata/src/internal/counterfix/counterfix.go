@@ -1,0 +1,45 @@
+// Package counterfix seeds saturating-counter hygiene violations for
+// the bplint fixture tests.
+package counterfix
+
+// branchState models per-branch predictor state with conventionally
+// named saturating fields plus one plain tally.
+type branchState struct {
+	ctr   uint8
+	conf  int
+	count int
+}
+
+// RawIncrement bumps counters without bounds checks: 3 wraps to 0.
+func RawIncrement(st *branchState) {
+	st.ctr++  // want ctr-saturate
+	st.conf-- // want ctr-saturate
+}
+
+// GuardedIncrement checks the bound first: allowed.
+func GuardedIncrement(st *branchState) {
+	if st.ctr < 3 {
+		st.ctr++
+	}
+	if st.conf > 0 {
+		st.conf--
+	}
+}
+
+// saturatingBump is a recognized saturate helper, where the raw
+// arithmetic is the implementation: allowed.
+func saturatingBump(st *branchState) {
+	if st.count > 0 {
+		st.ctr++
+	}
+}
+
+// PlainCount increments a field that is not counter-named: allowed.
+func PlainCount(st *branchState) {
+	st.count++
+}
+
+// Suppressed documents a deliberate wrap with a trailing directive.
+func Suppressed(st *branchState) {
+	st.ctr++ //bplint:ignore ctr-saturate fixture: deliberate wrap
+}

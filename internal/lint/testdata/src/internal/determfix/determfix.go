@@ -1,0 +1,92 @@
+// Package determfix seeds deliberate determinism violations for the
+// bplint fixture tests. Each "want" comment names the rule expected to
+// fire on that exact line; lines without one must stay clean.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wallclock reads the wall clock twice.
+func Wallclock() time.Duration {
+	start := time.Now()    // want det-time
+	d := time.Since(start) // want det-time
+	return d
+}
+
+// GlobalRand draws from the process-global auto-seeded source.
+func GlobalRand() int {
+	return rand.Intn(8) // want det-rand
+}
+
+// SeededRand constructs an explicitly seeded generator: allowed.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(8)
+}
+
+// UnsortedAppend accumulates map keys in randomized order.
+func UnsortedAppend(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want det-map-order
+	}
+	return keys
+}
+
+// SortedAppend collects then sorts: order restored, allowed.
+func SortedAppend(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// LocalAppend builds a loop-local slice per key: allowed.
+func LocalAppend(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// FloatAccum sums floats in map iteration order: not bit-reproducible.
+func FloatAccum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want det-map-order
+	}
+	return total
+}
+
+// IntAccum sums integers: associative, allowed.
+func IntAccum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PrintInLoop emits one line per key in randomized order.
+func PrintInLoop(m map[int]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want det-map-order
+	}
+}
+
+// Ignored is suppressed by the directive on the line above the call.
+func Ignored() time.Time {
+	//bplint:ignore det-time fixture: suppression must hide this
+	return time.Now()
+}

@@ -1,0 +1,50 @@
+// Package iofix seeds I/O-discipline violations for the bplint fixture
+// tests: terminal writes and process exits from library code, and
+// silently discarded error results.
+package iofix
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+// Noisy writes to the terminal from library code.
+func Noisy(v int) {
+	fmt.Println("value", v)           // want io-print
+	fmt.Fprintf(os.Stderr, "v=%d", v) // want io-print
+	log.Printf("v=%d", v)             // want io-print
+}
+
+// Die exits the whole process from library code.
+func Die() {
+	os.Exit(1) // want io-print
+}
+
+// DroppedErrors discards error results in statement position.
+func DroppedErrors(f *os.File, v any) {
+	json.NewEncoder(f).Encode(v) // want io-errcheck
+	f.Close()                    // want io-errcheck
+}
+
+// DroppedFlush discards the one bufio call that does surface latched
+// write errors.
+func DroppedFlush(w *bufio.Writer) {
+	w.Flush() // want io-errcheck
+}
+
+// LatchedWrites hit writers that cannot fail at the call site: allowed.
+func LatchedWrites(buf *bytes.Buffer, w *bufio.Writer, v int) {
+	fmt.Fprintf(buf, "v=%d", v)
+	buf.WriteString("ok")
+	w.WriteByte('\n')
+}
+
+// Suppressed documents deliberate terminal output.
+func Suppressed() {
+	//bplint:ignore io-print fixture: suppression must hide this
+	fmt.Println("debug")
+}

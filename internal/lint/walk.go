@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectWithStack walks the AST like ast.Inspect but hands the visitor
+// the stack of enclosing nodes (outermost first, not including n).
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(n, stack)
+		stack = append(stack, n)
+		return ok
+	})
+}
+
+// calleeFunc resolves a call expression to the package-level function or
+// method object it invokes, or nil (builtins, function values, type
+// conversions).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether the call invokes the package-level function
+// pkgPath.name (not a method).
+func isPkgFunc(pkg *Package, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// rootIdent returns the leftmost identifier of an lvalue-ish expression
+// (x, x.f, x.f[i], (*x).f ...), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// terminalName returns the innermost field or variable name an inc/dec
+// operand refers to: ctr in "p.ctr++", "tbl.ctr[i]++", "ctr++".
+func terminalName(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.IndexExpr:
+		return terminalName(v.X)
+	case *ast.StarExpr:
+		return terminalName(v.X)
+	default:
+		return ""
+	}
+}
+
+// objectOf resolves an identifier through both Uses and Defs.
+func objectOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funcBodies yields every function body in the file with a display name:
+// declared functions and methods once each (function literals are walked
+// as part of their enclosing declaration).
+func funcBodies(file *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Body)
+	}
+}
