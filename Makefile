@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint bench
+.PHONY: check build vet test race shuffle cover lint bench
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -17,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+shuffle:
+	$(GO) test -shuffle=on ./...
+
+cover:
+	$(GO) test -cover ./...
 
 lint:
 	$(GO) run ./cmd/bplint ./...

@@ -11,12 +11,17 @@
 package branchcorr
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"branchcorr/internal/bp"
 	"branchcorr/internal/core"
 	"branchcorr/internal/experiments"
+	"branchcorr/internal/runner"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/trace"
 	"branchcorr/internal/workloads"
@@ -60,6 +65,95 @@ func benchTrace(b *testing.B, name string) *trace.Trace {
 	tr := w.Generate(benchLength)
 	benchTraces[name] = tr
 	return tr
+}
+
+// benchParallelConfig is the report configuration the parallel-runner
+// benchmarks regenerate end to end: four workloads (the hardest plus
+// three with different cost profiles) and a two-point Figure 5 sweep, so
+// every exhibit including the oracle-heavy paths runs at bench scale.
+func benchParallelConfig() experiments.Config {
+	return experiments.Config{
+		Length:      benchLength / 2,
+		Workloads:   []string{"gcc", "perl", "compress", "ijpeg"},
+		Fig5Windows: []int{8, 16},
+	}
+}
+
+// BenchmarkParallelReport regenerates the full report through the
+// (exhibit × workload) cell runner, one sub-benchmark per parallelism
+// level (BENCH_parallel.json-friendly: sequential vs parallel time/op is
+// the suite's wall-clock speedup). Each iteration builds a fresh suite
+// outside the timer so the memoized per-trace artifacts are recomputed —
+// the benchmark measures the report, not the cache. Per-cell wall time
+// is injected via the runner's Wrap hook and reported as custom metrics;
+// the runner itself never reads the clock (bplint det-time).
+func BenchmarkParallelReport(b *testing.B) {
+	levels := []int{1, runtime.GOMAXPROCS(0)}
+	if levels[1] == 1 {
+		levels = levels[:1] // single-core machine: parallel=N duplicates parallel=1
+	}
+	for _, par := range levels {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			var cellNanos, cellCount, maxCellNanos atomic.Int64
+			wrap := func(c runner.Cell, run runner.RunFunc) runner.RunFunc {
+				return func(ctx context.Context) error {
+					start := time.Now()
+					err := run(ctx)
+					d := time.Since(start).Nanoseconds()
+					cellNanos.Add(d)
+					cellCount.Add(1)
+					for {
+						old := maxCellNanos.Load()
+						if d <= old || maxCellNanos.CompareAndSwap(old, d) {
+							break
+						}
+					}
+					return err
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := experiments.NewSuite(benchParallelConfig(), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: par, Wrap: wrap}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cellCount.Load())/float64(b.N), "cells")
+			b.ReportMetric(float64(cellNanos.Load())/float64(cellCount.Load())/1e6, "ms/cell-avg")
+			b.ReportMetric(float64(maxCellNanos.Load())/1e6, "ms/cell-max")
+		})
+	}
+}
+
+// BenchmarkParallelSpeedup measures the sequential and parallel report
+// back to back on fresh suites and reports the wall-clock ratio as an
+// explicit x-speedup metric (the acceptance number for the parallel
+// scheduler: ≥2 on a 4-core runner; 1.0 by construction on one core).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	par := runtime.GOMAXPROCS(0)
+	measure := func(parallel int) time.Duration {
+		s, err := experiments.NewSuite(benchParallelConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: parallel}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var seq, conc time.Duration
+	for i := 0; i < b.N; i++ {
+		seq += measure(1)
+		conc += measure(par)
+	}
+	b.ReportMetric(seq.Seconds()/conc.Seconds(), "x-speedup")
+	b.ReportMetric(seq.Seconds()/float64(b.N), "s/seq-report")
+	b.ReportMetric(conc.Seconds()/float64(b.N), "s/par-report")
 }
 
 // BenchmarkTable1TraceGeneration regenerates Table 1's inputs: all eight

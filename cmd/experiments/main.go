@@ -1,35 +1,36 @@
 // Command experiments regenerates every table and figure of the paper
 // over the synthetic workload suite and prints them to stdout.
 //
+// The report is decomposed into (exhibit × workload) cells executed
+// across a worker pool (-parallel, default GOMAXPROCS); results merge in
+// canonical exhibit order, so the output is byte-identical to -parallel=1.
+//
 // Usage:
 //
 //	experiments                         # everything, 1M branches each
 //	experiments -n 200000 -exhibits fig4,table2
 //	experiments -workloads gcc,go -n 2000000
+//	experiments -parallel 1             # sequential execution
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"branchcorr/internal/experiments"
+	"branchcorr/internal/runner"
 )
-
-var exhibitOrder = []string{
-	"table1", "fig4", "fig5", "table2", "fig6", "table3", "fig7", "fig8", "fig9",
-	"inpath",   // extension: in-path vs direction correlation decomposition
-	"ceiling",  // extension: achieved accuracy vs entropy ceilings
-	"hybrids",  // extension: hybrid organizations vs ideal per-branch choice
-	"training", // extension: cold-start vs steady-state accuracy
-}
 
 func main() {
 	var (
 		n        = flag.Int("n", 1_000_000, "dynamic branches per workload trace")
 		wls      = flag.String("workloads", "", "comma-separated workload subset (default all)")
-		exhibits = flag.String("exhibits", "all", "comma-separated exhibits: "+strings.Join(exhibitOrder, ","))
+		exhibits = flag.String("exhibits", "all", "comma-separated exhibits: "+strings.Join(experiments.ExhibitOrder(), ","))
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for report cells (output is identical at any value)")
 		quiet    = flag.Bool("q", false, "suppress progress logging")
 		asJSON   = flag.Bool("json", false, "emit one JSON report instead of rendered text")
 	)
@@ -54,98 +55,65 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg = suite.Config() // pick up the suite's defaults (fig9 benchmarks etc.)
 
-	want := map[string]bool{}
-	if *exhibits == "all" {
-		for _, e := range exhibitOrder {
-			want[e] = true
-		}
-	} else {
-		for _, e := range strings.Split(*exhibits, ",") {
-			want[strings.TrimSpace(e)] = true
-		}
+	want, err := wantExhibits(*exhibits)
+	if err != nil {
+		fatal(err)
 	}
 	// fig9 needs gcc and perl unless overridden alongside -workloads.
-	if want["fig9"] && *wls != "" {
-		cfg := suite.Config()
-		have := map[string]bool{}
-		for _, name := range suite.Names() {
-			have[name] = true
-		}
-		ok := true
-		for _, b := range cfg.Fig9Benchmarks {
-			if !have[b] {
-				ok = false
-			}
-		}
-		if !ok {
-			fmt.Fprintln(os.Stderr, "experiments: skipping fig9 (needs gcc and perl in -workloads)")
-			want["fig9"] = false
+	if want["fig9"] && *wls != "" && !suite.Fig9Available() {
+		fmt.Fprintf(os.Stderr, "experiments: skipping fig9 (needs %s in -workloads)\n",
+			strings.Join(cfg.Fig9Benchmarks, " and "))
+		delete(want, "fig9")
+	}
+	var names []string
+	for _, e := range experiments.ExhibitOrder() {
+		if want[e] {
+			names = append(names, e)
 		}
 	}
 
-	report := suite.NewReport()
-	for _, e := range exhibitOrder {
-		if !want[e] {
-			continue
-		}
-		var out string
-		switch e {
-		case "table1":
-			r := suite.Table1()
-			report.Table1, out = r, r.Render()
-		case "fig4":
-			r := suite.Figure4()
-			report.Figure4, out = r, r.Render()
-		case "fig5":
-			r := suite.Figure5()
-			report.Figure5, out = r, r.Render()
-		case "table2":
-			r := suite.Table2()
-			report.Table2, out = r, r.Render()
-		case "fig6":
-			r := suite.Figure6()
-			report.Figure6, out = r, r.Render()
-		case "table3":
-			r := suite.Table3()
-			report.Table3, out = r, r.Render()
-		case "fig7":
-			r := suite.Figure7()
-			report.Figure7, out = r, r.Render()
-		case "fig8":
-			r := suite.Figure8()
-			report.Figure8, out = r, r.Render()
-		case "fig9":
-			r, err := suite.Figure9()
-			if err != nil {
-				fatal(err)
-			}
-			report.Figure9, out = r, r.Render()
-		case "inpath":
-			r := suite.InPath()
-			report.InPath, out = r, r.Render()
-		case "ceiling":
-			r := suite.Ceiling()
-			report.Ceiling, out = r, r.Render()
-		case "hybrids":
-			r := suite.Hybrids()
-			report.Hybrids, out = r, r.Render()
-		case "training":
-			r := suite.Training()
-			report.Training, out = r, r.Render()
-		default:
-			fatal(fmt.Errorf("unknown exhibit %q (have %s)", e, strings.Join(exhibitOrder, ",")))
-		}
-		logf("%s done", e)
-		if !*asJSON {
-			fmt.Println(out)
-		}
+	report, err := suite.BuildReport(context.Background(), names, runner.Options{Parallel: *parallel})
+	if err != nil {
+		fatal(err)
 	}
 	if *asJSON {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
 		}
+		return
 	}
+	for _, e := range names {
+		if out, ok := report.RenderExhibit(e); ok {
+			logf("%s done", e)
+			fmt.Println(out)
+		}
+	}
+}
+
+// wantExhibits parses the -exhibits flag into a set of canonical names;
+// "all" (or empty) selects every exhibit, unknown names error.
+func wantExhibits(spec string) (map[string]bool, error) {
+	want := map[string]bool{}
+	if spec == "all" || spec == "" {
+		for _, e := range experiments.ExhibitOrder() {
+			want[e] = true
+		}
+		return want, nil
+	}
+	known := map[string]bool{}
+	for _, e := range experiments.ExhibitOrder() {
+		known[e] = true
+	}
+	for _, e := range strings.Split(spec, ",") {
+		e = strings.TrimSpace(e)
+		if !known[e] {
+			return nil, fmt.Errorf("unknown exhibit %q (have %s)", e, strings.Join(experiments.ExhibitOrder(), ","))
+		}
+		want[e] = true
+	}
+	return want, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"branchcorr/internal/experiments"
+)
+
+func TestWantExhibitsAll(t *testing.T) {
+	for _, spec := range []string{"all", ""} {
+		want, err := wantExhibits(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if len(want) != len(experiments.ExhibitOrder()) {
+			t.Errorf("%q selected %d exhibits", spec, len(want))
+		}
+	}
+}
+
+func TestWantExhibitsSubset(t *testing.T) {
+	want, err := wantExhibits("fig4, table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 2 || !want["fig4"] || !want["table2"] {
+		t.Errorf("want = %v", want)
+	}
+}
+
+func TestWantExhibitsUnknown(t *testing.T) {
+	if _, err := wantExhibits("fig4,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("err = %v, want unknown-exhibit error naming bogus", err)
+	}
+}
+
+// TestFig9WorkloadSubsetSkip is the regression test for the -workloads
+// validation bug: the fig9 check used to read a shadowed Config whose
+// Fig9Benchmarks came from suite defaults while the outer (pre-default)
+// config was the one main kept using. The skip decision is now
+// Suite.Fig9Available against the defaulted config.
+func TestFig9WorkloadSubsetSkip(t *testing.T) {
+	// A -workloads subset without perl: fig9 (gcc+perl by default) must
+	// report unavailable.
+	subset, err := experiments.NewSuite(experiments.Config{
+		Length:    2_000,
+		Workloads: []string{"gcc", "compress"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subset.Fig9Available() {
+		t.Error("fig9 reported available without perl in the suite")
+	}
+	if got := subset.Config().Fig9Benchmarks; len(got) != 2 {
+		t.Errorf("defaulted Fig9Benchmarks = %v", got)
+	}
+
+	// With both default fig9 benchmarks present it must be available.
+	full, err := experiments.NewSuite(experiments.Config{
+		Length:    2_000,
+		Workloads: []string{"gcc", "perl"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Fig9Available() {
+		t.Error("fig9 reported unavailable with gcc and perl present")
+	}
+}

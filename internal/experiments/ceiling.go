@@ -7,6 +7,7 @@ import (
 	"branchcorr/internal/entropy"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
+	"branchcorr/internal/trace"
 )
 
 // CeilingRow compares achieved accuracies to information-theoretic
@@ -41,23 +42,31 @@ type CeilingResult struct {
 // table cannot track (the adaptivity question of Sechrest et al. and
 // Young et al., §2.2, answered quantitatively per benchmark).
 func (s *Suite) Ceiling() *CeilingResult {
-	const k = 12
-	res := &CeilingResult{HistoryBits: k}
-	for _, tr := range s.traces {
-		s.log("%s: entropy ceilings (k=%d)", tr.Name(), k)
-		local := entropy.LocalCeilings(tr, k)
-		global := entropy.GlobalCeilings(tr, k)
-		rs := sim.Run(tr, bp.NewIFPAs(k), bp.NewIFGshare(k))
-		res.Rows = append(res.Rows, CeilingRow{
-			Benchmark:    tr.Name(),
-			LocalCeil:    local.Weighted[k],
-			IFPAs:        rs[0].Accuracy(),
-			GlobalCeil:   global.Weighted[k],
-			IFGshare:     rs[1].Accuracy(),
-			ResidualBits: global.WeightedBits[k],
-		})
+	res := &CeilingResult{HistoryBits: ceilingHistoryBits, Rows: make([]CeilingRow, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.ceilingCell(tr)
 	}
 	return res
+}
+
+// ceilingHistoryBits is the context length of the ceiling exhibit.
+const ceilingHistoryBits = 12
+
+// ceilingCell computes one benchmark's ceiling comparison.
+func (s *Suite) ceilingCell(tr *trace.Trace) CeilingRow {
+	const k = ceilingHistoryBits
+	s.log("%s: entropy ceilings (k=%d)", tr.Name(), k)
+	local := entropy.LocalCeilings(tr, k)
+	global := entropy.GlobalCeilings(tr, k)
+	rs := sim.Run(tr, bp.NewIFPAs(k), bp.NewIFGshare(k))
+	return CeilingRow{
+		Benchmark:    tr.Name(),
+		LocalCeil:    local.Weighted[k],
+		IFPAs:        rs[0].Accuracy(),
+		GlobalCeil:   global.Weighted[k],
+		IFGshare:     rs[1].Accuracy(),
+		ResidualBits: global.WeightedBits[k],
+	}
 }
 
 // Render formats the ceiling comparison.

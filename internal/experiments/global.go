@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"branchcorr/internal/core"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
+	"branchcorr/internal/trace"
 )
 
 // Figure4Row holds one benchmark's accuracies for the selective-history
@@ -25,20 +27,25 @@ type Figure4Result struct {
 
 // Figure4 runs the selective-history comparison over all traces.
 func (s *Suite) Figure4() *Figure4Result {
-	res := &Figure4Result{}
-	for _, tr := range s.traces {
-		b := s.globalFor(tr)
-		row := Figure4Row{
-			Benchmark: tr.Name(),
-			IFGshare:  b.ifg.Accuracy(),
-			Gshare:    b.g.Accuracy(),
-		}
-		for k := 1; k <= core.MaxSelectiveRefs; k++ {
-			row.Sel[k] = b.sel[k].Accuracy()
-		}
-		res.Rows = append(res.Rows, row)
+	res := &Figure4Result{Rows: make([]Figure4Row, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.figure4Cell(tr)
 	}
 	return res
+}
+
+// figure4Cell computes one benchmark's Figure 4 row.
+func (s *Suite) figure4Cell(tr *trace.Trace) Figure4Row {
+	b := s.globalFor(tr)
+	row := Figure4Row{
+		Benchmark: tr.Name(),
+		IFGshare:  b.ifg.Accuracy(),
+		Gshare:    b.g.Accuracy(),
+	}
+	for k := 1; k <= core.MaxSelectiveRefs; k++ {
+		row.Sel[k] = b.sel[k].Accuracy()
+	}
+	return row
 }
 
 // Render formats the figure as grouped accuracy bars.
@@ -74,26 +81,41 @@ type Figure5Result struct {
 // candidate set depends on the window), so this is the suite's most
 // expensive exhibit.
 func (s *Suite) Figure5() *Figure5Result {
-	res := &Figure5Result{Windows: s.cfg.Fig5Windows, Benchmarks: s.Names()}
-	for _, tr := range s.traces {
-		accs := make([]float64, len(res.Windows))
-		for wi, n := range res.Windows {
-			var r *sim.Result
-			if n == s.cfg.Oracle.WindowLen {
-				r = s.globalFor(tr).sel[3] // reuse the shared bundle
-			} else {
-				s.log("%s: oracle selection (window %d)", tr.Name(), n)
-				ocfg := s.cfg.Oracle
-				ocfg.WindowLen = n
-				sels := core.BuildSelective(tr, ocfg)
-				p := core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3])
-				r = sim.RunOne(tr, p)
-			}
-			accs[wi] = r.Accuracy()
-		}
-		res.Acc = append(res.Acc, accs)
+	res := &Figure5Result{
+		Windows:    s.cfg.Fig5Windows,
+		Benchmarks: s.Names(),
+		Acc:        make([][]float64, len(s.traces)),
+	}
+	for i, tr := range s.traces {
+		res.Acc[i] = s.figure5Cell(context.Background(), tr)
 	}
 	return res
+}
+
+// figure5Cell sweeps every configured window for one benchmark. The
+// context is consulted between windows: each non-default window costs a
+// full oracle pass, so an aborted pool stops a cell mid-sweep instead of
+// finishing the suite's most expensive exhibit.
+func (s *Suite) figure5Cell(ctx context.Context, tr *trace.Trace) []float64 {
+	accs := make([]float64, len(s.cfg.Fig5Windows))
+	for wi, n := range s.cfg.Fig5Windows {
+		if ctx.Err() != nil {
+			return accs
+		}
+		var r *sim.Result
+		if n == s.cfg.Oracle.WindowLen {
+			r = s.globalFor(tr).sel[3] // reuse the shared bundle
+		} else {
+			s.log("%s: oracle selection (window %d)", tr.Name(), n)
+			ocfg := s.cfg.Oracle
+			ocfg.WindowLen = n
+			sels := core.BuildSelective(tr, ocfg)
+			p := core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3])
+			r = sim.RunOne(tr, p)
+		}
+		accs[wi] = r.Accuracy()
+	}
+	return accs
 }
 
 // Render formats the sweep as a line chart plus a value table.
@@ -142,27 +164,32 @@ type Table2Result struct {
 
 // Table2 builds the hypothetical "gshare w/ Corr" combiners.
 func (s *Suite) Table2() *Table2Result {
-	res := &Table2Result{}
-	for _, tr := range s.traces {
-		b := s.globalFor(tr)
-		gCorr := sim.CombineMax("gshare w/ Corr", b.g, b.sel[1])
-		ifCorr := sim.CombineMax("IF gshare w/ Corr", b.ifg, b.sel[1])
-		row := Table2Row{
-			Benchmark:    tr.Name(),
-			Gshare:       b.g.Accuracy(),
-			GshareCorr:   gCorr.Accuracy(),
-			IFGshare:     b.ifg.Accuracy(),
-			IFGshareCorr: ifCorr.Accuracy(),
-		}
-		if m := b.g.Mispredictions(); m > 0 {
-			row.MispredReduction = float64(m-gCorr.Mispredictions()) / float64(m)
-		}
-		if m := b.ifg.Mispredictions(); m > 0 {
-			row.IFMispredReduction = float64(m-ifCorr.Mispredictions()) / float64(m)
-		}
-		res.Rows = append(res.Rows, row)
+	res := &Table2Result{Rows: make([]Table2Row, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.table2Cell(tr)
 	}
 	return res
+}
+
+// table2Cell computes one benchmark's Table 2 row.
+func (s *Suite) table2Cell(tr *trace.Trace) Table2Row {
+	b := s.globalFor(tr)
+	gCorr := sim.CombineMax("gshare w/ Corr", b.g, b.sel[1])
+	ifCorr := sim.CombineMax("IF gshare w/ Corr", b.ifg, b.sel[1])
+	row := Table2Row{
+		Benchmark:    tr.Name(),
+		Gshare:       b.g.Accuracy(),
+		GshareCorr:   gCorr.Accuracy(),
+		IFGshare:     b.ifg.Accuracy(),
+		IFGshareCorr: ifCorr.Accuracy(),
+	}
+	if m := b.g.Mispredictions(); m > 0 {
+		row.MispredReduction = float64(m-gCorr.Mispredictions()) / float64(m)
+	}
+	if m := b.ifg.Mispredictions(); m > 0 {
+		row.IFMispredReduction = float64(m-ifCorr.Mispredictions()) / float64(m)
+	}
+	return row
 }
 
 // Render formats the table.

@@ -27,32 +27,72 @@ type SplitResult struct {
 	Rows   []SplitRow
 }
 
-func (s *Suite) splitRows(res *SplitResult, split func(tr *trace.Trace) *core.CategorySplit) {
-	for _, tr := range s.traces {
-		sp := split(tr)
-		row := SplitRow{Benchmark: tr.Name(), StaticHighBias: sp.StaticHighBiasFrac()}
-		for c := core.CatStatic; c <= core.CatPerAddress; c++ {
-			row.Frac[c] = sp.Frac(c)
-		}
-		res.Rows = append(res.Rows, row)
+// splitCell evaluates one benchmark's category split into a row.
+func splitCell(tr *trace.Trace, split func(tr *trace.Trace) *core.CategorySplit) SplitRow {
+	sp := split(tr)
+	row := SplitRow{Benchmark: tr.Name(), StaticHighBias: sp.StaticHighBiasFrac()}
+	for c := core.CatStatic; c <= core.CatPerAddress; c++ {
+		row.Frac[c] = sp.Frac(c)
+	}
+	return row
+}
+
+// figure7Split is Figure 7's per-trace category split: the real gshare
+// and PAs predictors against the ideal static predictor.
+func (s *Suite) figure7Split(tr *trace.Trace) *core.CategorySplit {
+	b := s.baseFor(tr)
+	stats := trace.Summarize(tr)
+	return core.SplitBest(stats, b.static,
+		func(pc trace.Addr) int { return b.gshare.Branch(pc).Correct },
+		func(pc trace.Addr) int { return b.pas.Branch(pc).Correct },
+		0.99)
+}
+
+// figure8Split is Figure 8's per-trace category split over the paper's
+// predictability classes.
+func (s *Suite) figure8Split(tr *trace.Trace) *core.CategorySplit {
+	g := s.globalFor(tr)
+	cl := s.classFor(tr)
+	stats := trace.Summarize(tr)
+	return core.SplitBest(stats, cl.Static,
+		func(pc trace.Addr) int {
+			best := g.ifg.Branch(pc).Correct
+			if c := g.sel[3].Branch(pc).Correct; c > best {
+				best = c
+			}
+			return best
+		},
+		cl.PerAddressBestCorrect,
+		0.99)
+}
+
+// newFigure7Result returns an empty Figure 7 shell with rows sized for
+// the suite, ready for per-cell filling.
+func (s *Suite) newFigure7Result() *SplitResult {
+	return &SplitResult{
+		Title:  "Figure 7. Branches best predicted by gshare, PAs, and ideal static (dynamic-weighted)",
+		Labels: [3]string{"Ideal Static Best", "Gshare Best", "PAs Best"},
+		Rows:   make([]SplitRow, len(s.traces)),
+	}
+}
+
+// newFigure8Result returns an empty Figure 8 shell with rows sized for
+// the suite.
+func (s *Suite) newFigure8Result() *SplitResult {
+	return &SplitResult{
+		Title:  "Figure 8. Branches best predicted by global correlation, per-address classes, and ideal static",
+		Labels: [3]string{"Ideal Static Best", "Global Best", "Per-Address Best"},
+		Rows:   make([]SplitRow, len(s.traces)),
 	}
 }
 
 // Figure7 reproduces Figure 7: the distribution of branches best
 // predicted by gshare, PAs, or the ideal static predictor.
 func (s *Suite) Figure7() *SplitResult {
-	res := &SplitResult{
-		Title:  "Figure 7. Branches best predicted by gshare, PAs, and ideal static (dynamic-weighted)",
-		Labels: [3]string{"Ideal Static Best", "Gshare Best", "PAs Best"},
+	res := s.newFigure7Result()
+	for i, tr := range s.traces {
+		res.Rows[i] = splitCell(tr, s.figure7Split)
 	}
-	s.splitRows(res, func(tr *trace.Trace) *core.CategorySplit {
-		b := s.baseFor(tr)
-		stats := trace.Summarize(tr)
-		return core.SplitBest(stats, b.static,
-			func(pc trace.Addr) int { return b.gshare.Branch(pc).Correct },
-			func(pc trace.Addr) int { return b.pas.Branch(pc).Correct },
-			0.99)
-	})
 	return res
 }
 
@@ -61,25 +101,10 @@ func (s *Suite) Figure7() *SplitResult {
 // gshare and the 3-branch selective history, per-address is the best of
 // the section 4.1 class predictors.
 func (s *Suite) Figure8() *SplitResult {
-	res := &SplitResult{
-		Title:  "Figure 8. Branches best predicted by global correlation, per-address classes, and ideal static",
-		Labels: [3]string{"Ideal Static Best", "Global Best", "Per-Address Best"},
+	res := s.newFigure8Result()
+	for i, tr := range s.traces {
+		res.Rows[i] = splitCell(tr, s.figure8Split)
 	}
-	s.splitRows(res, func(tr *trace.Trace) *core.CategorySplit {
-		g := s.globalFor(tr)
-		cl := s.classFor(tr)
-		stats := trace.Summarize(tr)
-		return core.SplitBest(stats, cl.Static,
-			func(pc trace.Addr) int {
-				best := g.ifg.Branch(pc).Correct
-				if c := g.sel[3].Branch(pc).Correct; c > best {
-					best = c
-				}
-				return best
-			},
-			cl.PerAddressBestCorrect,
-			0.99)
-	})
 	return res
 }
 
@@ -112,22 +137,41 @@ type Figure9Result struct {
 
 // Figure9 computes the percentile curves for the configured benchmarks.
 func (s *Suite) Figure9() (*Figure9Result, error) {
-	res := &Figure9Result{Percentiles: s.cfg.Fig9Percentiles, Benchmarks: s.cfg.Fig9Benchmarks}
-	for _, name := range s.cfg.Fig9Benchmarks {
-		var tr *trace.Trace
-		for _, cand := range s.traces {
-			if cand.Name() == name {
-				tr = cand
-				break
-			}
+	res := &Figure9Result{
+		Percentiles: s.cfg.Fig9Percentiles,
+		Benchmarks:  s.cfg.Fig9Benchmarks,
+		Diff:        make([][]float64, len(s.cfg.Fig9Benchmarks)),
+	}
+	for i, name := range s.cfg.Fig9Benchmarks {
+		curve, err := s.figure9Cell(name)
+		if err != nil {
+			return nil, err
 		}
-		if tr == nil {
-			return nil, fmt.Errorf("experiments: figure 9 benchmark %q not in suite", name)
-		}
-		b := s.baseFor(tr)
-		res.Diff = append(res.Diff, sim.DiffPercentiles(b.gshare, b.pas, res.Percentiles))
+		res.Diff[i] = curve
 	}
 	return res, nil
+}
+
+// figure9Cell computes the percentile curve for one configured benchmark.
+func (s *Suite) figure9Cell(name string) ([]float64, error) {
+	tr := s.traceByName(name)
+	if tr == nil {
+		return nil, fmt.Errorf("experiments: figure 9 benchmark %q not in suite", name)
+	}
+	b := s.baseFor(tr)
+	return sim.DiffPercentiles(b.gshare, b.pas, s.cfg.Fig9Percentiles), nil
+}
+
+// Fig9Available reports whether every configured Figure 9 benchmark is
+// in the suite (the -workloads flag can exclude them; callers then skip
+// the exhibit rather than fail the report).
+func (s *Suite) Fig9Available() bool {
+	for _, name := range s.cfg.Fig9Benchmarks {
+		if s.traceByName(name) == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Render formats the percentile curves.

@@ -4,6 +4,7 @@ import (
 	"branchcorr/internal/bp"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
+	"branchcorr/internal/trace"
 )
 
 // HybridRow compares hybrid organizations for one benchmark (extension
@@ -35,25 +36,30 @@ type HybridsResult struct {
 // Hybrids measures both real hybrid organizations against their
 // components and the per-branch ideal combination.
 func (s *Suite) Hybrids() *HybridsResult {
-	res := &HybridsResult{}
-	for _, tr := range s.traces {
-		s.log("%s: hybrid organizations", tr.Name())
-		b := s.baseFor(tr)
-		rs := sim.Run(tr,
-			bp.NewHybrid(s.newGshare(), s.newPAs(), 12),
-			bp.NewTournament(s.cfg.PAsHistBits, s.cfg.PAsBHTBits, s.cfg.GshareBits, 12),
-		)
-		ideal := sim.CombineMax("ideal", b.gshare, b.pas)
-		res.Rows = append(res.Rows, HybridRow{
-			Benchmark:  tr.Name(),
-			Gshare:     b.gshare.Accuracy(),
-			PAs:        b.pas.Accuracy(),
-			McFarling:  rs[0].Accuracy(),
-			Tournament: rs[1].Accuracy(),
-			Ideal:      ideal.Accuracy(),
-		})
+	res := &HybridsResult{Rows: make([]HybridRow, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.hybridsCell(tr)
 	}
 	return res
+}
+
+// hybridsCell measures the hybrid organizations on one benchmark.
+func (s *Suite) hybridsCell(tr *trace.Trace) HybridRow {
+	s.log("%s: hybrid organizations", tr.Name())
+	b := s.baseFor(tr)
+	rs := sim.Run(tr,
+		bp.NewHybrid(s.newGshare(), s.newPAs(), 12),
+		bp.NewTournament(s.cfg.PAsHistBits, s.cfg.PAsBHTBits, s.cfg.GshareBits, 12),
+	)
+	ideal := sim.CombineMax("ideal", b.gshare, b.pas)
+	return HybridRow{
+		Benchmark:  tr.Name(),
+		Gshare:     b.gshare.Accuracy(),
+		PAs:        b.pas.Accuracy(),
+		McFarling:  rs[0].Accuracy(),
+		Tournament: rs[1].Accuracy(),
+		Ideal:      ideal.Accuracy(),
+	}
 }
 
 // Render formats the comparison.

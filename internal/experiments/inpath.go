@@ -4,6 +4,7 @@ import (
 	"branchcorr/internal/core"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
+	"branchcorr/internal/trace"
 )
 
 // InPathRow decomposes one benchmark's selective-history accuracy into
@@ -32,25 +33,30 @@ type InPathResult struct {
 // InPath runs the decomposition using each branch's oracle-selected
 // 3-ref set under both selective modes.
 func (s *Suite) InPath() *InPathResult {
-	res := &InPathResult{}
-	for _, tr := range s.traces {
-		g := s.globalFor(tr)
-		base := s.baseFor(tr)
-		s.log("%s: presence-only selective history", tr.Name())
-		// The direction-mode result and the oracle's ref choices are
-		// cached in the global bundle; the presence-mode run reuses the
-		// same assignment.
-		pres := core.NewSelectiveMode("presence-sel3", s.cfg.Oracle.WindowLen,
-			g.sels.BySize[3], core.ModePresence)
-		pr := sim.RunOne(tr, pres)
-		res.Rows = append(res.Rows, InPathRow{
-			Benchmark: tr.Name(),
-			Direction: g.sel[3].Accuracy(),
-			Presence:  pr.Accuracy(),
-			Static:    base.static.Accuracy(),
-		})
+	res := &InPathResult{Rows: make([]InPathRow, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.inPathCell(tr)
 	}
 	return res
+}
+
+// inPathCell decomposes one benchmark's selective-history accuracy.
+func (s *Suite) inPathCell(tr *trace.Trace) InPathRow {
+	g := s.globalFor(tr)
+	base := s.baseFor(tr)
+	s.log("%s: presence-only selective history", tr.Name())
+	// The direction-mode result and the oracle's ref choices are
+	// cached in the global bundle; the presence-mode run reuses the
+	// same assignment.
+	pres := core.NewSelectiveMode("presence-sel3", s.cfg.Oracle.WindowLen,
+		g.sels.BySize[3], core.ModePresence)
+	pr := sim.RunOne(tr, pres)
+	return InPathRow{
+		Benchmark: tr.Name(),
+		Direction: g.sel[3].Accuracy(),
+		Presence:  pr.Accuracy(),
+		Static:    base.static.Accuracy(),
+	}
 }
 
 // Render formats the decomposition.

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"branchcorr/internal/runner"
+)
+
+// goldenConfig is the small suite the byte-identity tests run: three
+// workloads including both Figure 9 benchmarks, short traces, and a
+// two-point Figure 5 sweep so every exhibit (including the expensive
+// oracle paths) executes at test scale.
+func goldenConfig() Config {
+	return Config{
+		Length:      20_000,
+		Workloads:   []string{"gcc", "perl", "compress"},
+		Fig5Windows: []int{8, 16},
+	}
+}
+
+func buildJSON(t *testing.T, parallel int) (string, string) {
+	t.Helper()
+	s, err := NewSuite(goldenConfig(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), report.Render()
+}
+
+// TestBuildReportByteIdentity is the determinism contract of the
+// parallel runner: a full report computed at parallel=1 and at
+// parallel=8, each on a freshly generated suite, must be byte-equal in
+// both JSON and rendered-text form. CI runs this under -race, so any
+// unsynchronized sharing between cells fails the build too.
+func TestBuildReportByteIdentity(t *testing.T) {
+	seqJSON, seqText := buildJSON(t, 1)
+	parJSON, parText := buildJSON(t, 8)
+	if seqJSON != parJSON {
+		t.Errorf("JSON reports differ between parallel=1 (%d bytes) and parallel=8 (%d bytes)",
+			len(seqJSON), len(parJSON))
+	}
+	if seqText != parText {
+		t.Errorf("rendered reports differ between parallel=1 and parallel=8")
+	}
+	// Sanity: the report actually contains every exhibit.
+	for _, key := range []string{`"table1"`, `"figure5"`, `"figure9"`, `"training"`, `"ceiling"`} {
+		if !strings.Contains(seqJSON, key) {
+			t.Errorf("full report missing %s", key)
+		}
+	}
+}
+
+// TestBuildReportMatchesSequentialMethods pins the parallel cells to the
+// sequential exhibit methods: the same suite must produce identical rows
+// either way (the memoized bundles are shared, so equality is exact).
+func TestBuildReportMatchesSequentialMethods(t *testing.T) {
+	s := testSuite(t)
+	report, err := s.BuildReport(context.Background(), []string{"table1", "fig4", "table2", "fig6", "hybrids"}, runner.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := report.Table1.Rows, s.Table1().Rows; len(got) != len(want) {
+		t.Fatalf("table1 rows: %d vs %d", len(got), len(want))
+	}
+	for i, row := range report.Table1.Rows {
+		if row != s.Table1().Rows[i] {
+			t.Errorf("table1 row %d differs: %+v", i, row)
+		}
+	}
+	for i, row := range report.Figure4.Rows {
+		if row != s.Figure4().Rows[i] {
+			t.Errorf("fig4 row %d differs: %+v", i, row)
+		}
+	}
+	for i, row := range report.Table2.Rows {
+		if row != s.Table2().Rows[i] {
+			t.Errorf("table2 row %d differs: %+v", i, row)
+		}
+	}
+	for i, row := range report.Hybrids.Rows {
+		if row != s.Hybrids().Rows[i] {
+			t.Errorf("hybrids row %d differs: %+v", i, row)
+		}
+	}
+	if report.Figure5 != nil || report.Figure9 != nil {
+		t.Error("unrequested exhibits were computed")
+	}
+}
+
+func TestBuildReportUnknownExhibit(t *testing.T) {
+	s := testSuite(t)
+	if _, err := s.BuildReport(context.Background(), []string{"fig4", "nope"}, runner.Options{}); err == nil {
+		t.Error("unknown exhibit should fail")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err %v does not name the unknown exhibit", err)
+	}
+}
+
+// TestBuildReportFig9ErrorAbortsPool checks error propagation from a
+// failing cell: a suite without perl cannot compute fig9, and the cell
+// error must surface with the cell identity.
+func TestBuildReportFig9ErrorAbortsPool(t *testing.T) {
+	s, err := NewSuite(Config{Length: 2_000, Workloads: []string{"gcc"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.BuildReport(context.Background(), []string{"table1", "fig9"}, runner.Options{Parallel: 2})
+	if err == nil {
+		t.Fatal("fig9 without perl should fail the report")
+	}
+	if !strings.Contains(err.Error(), "fig9/perl") || !strings.Contains(err.Error(), "not in suite") {
+		t.Errorf("err = %v, want cell-identified fig9 error", err)
+	}
+}
+
+func TestBuildReportCancelledContext(t *testing.T) {
+	s := testSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.BuildReport(ctx, []string{"table1"}, runner.Options{Parallel: 2}); err == nil {
+		t.Error("cancelled context should fail the report")
+	}
+}
+
+func TestExhibitOrderCoversReport(t *testing.T) {
+	// Every canonical exhibit must render once a full report is built —
+	// catches an exhibit added to the order but not wired into
+	// BuildReport/RenderExhibit.
+	s := testSuite(t)
+	report, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ExhibitOrder() {
+		if _, ok := report.RenderExhibit(e); !ok {
+			t.Errorf("exhibit %s missing from full report", e)
+		}
+	}
+	if _, ok := report.RenderExhibit("bogus"); ok {
+		t.Error("bogus exhibit rendered")
+	}
+}

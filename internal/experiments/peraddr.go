@@ -27,16 +27,21 @@ type Figure6Result struct {
 // Figure6 classifies every trace's branches by per-address
 // predictability.
 func (s *Suite) Figure6() *Figure6Result {
-	res := &Figure6Result{}
-	for _, tr := range s.traces {
-		cl := s.classFor(tr)
-		row := Figure6Row{Benchmark: tr.Name(), StaticHighBias: cl.StaticHighBiasFrac()}
-		for c := core.ClassStatic; c <= core.ClassNonRepeating; c++ {
-			row.Frac[c] = cl.Frac(c)
-		}
-		res.Rows = append(res.Rows, row)
+	res := &Figure6Result{Rows: make([]Figure6Row, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.figure6Cell(tr)
 	}
 	return res
+}
+
+// figure6Cell classifies one benchmark's branches.
+func (s *Suite) figure6Cell(tr *trace.Trace) Figure6Row {
+	cl := s.classFor(tr)
+	row := Figure6Row{Benchmark: tr.Name(), StaticHighBias: cl.StaticHighBiasFrac()}
+	for c := core.ClassStatic; c <= core.ClassNonRepeating; c++ {
+		row.Frac[c] = cl.Frac(c)
+	}
+	return row
 }
 
 // Render formats the distribution as stacked bars.
@@ -79,22 +84,27 @@ type Table3Result struct {
 // predictor's accuracy is used for every branch the classification put in
 // the loop class, PAs (or IF-PAs) for the rest.
 func (s *Suite) Table3() *Table3Result {
-	res := &Table3Result{}
-	for _, tr := range s.traces {
-		cl := s.classFor(tr)
-		pas := s.baseFor(tr).pas
-		isLoop := func(pc trace.Addr) bool { return cl.Class[pc] == core.ClassLoop }
-		pasLoop := sim.CombineSelect("PAs w/ Loop", cl.Loop, pas, isLoop)
-		ifpasLoop := sim.CombineSelect("IF PAs w/ Loop", cl.Loop, cl.IFPAs, isLoop)
-		res.Rows = append(res.Rows, Table3Row{
-			Benchmark: tr.Name(),
-			PAs:       pas.Accuracy(),
-			PAsLoop:   pasLoop.Accuracy(),
-			IFPAs:     cl.IFPAs.Accuracy(),
-			IFPAsLoop: ifpasLoop.Accuracy(),
-		})
+	res := &Table3Result{Rows: make([]Table3Row, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.table3Cell(tr)
 	}
 	return res
+}
+
+// table3Cell computes one benchmark's Table 3 row.
+func (s *Suite) table3Cell(tr *trace.Trace) Table3Row {
+	cl := s.classFor(tr)
+	pas := s.baseFor(tr).pas
+	isLoop := func(pc trace.Addr) bool { return cl.Class[pc] == core.ClassLoop }
+	pasLoop := sim.CombineSelect("PAs w/ Loop", cl.Loop, pas, isLoop)
+	ifpasLoop := sim.CombineSelect("IF PAs w/ Loop", cl.Loop, cl.IFPAs, isLoop)
+	return Table3Row{
+		Benchmark: tr.Name(),
+		PAs:       pas.Accuracy(),
+		PAsLoop:   pasLoop.Accuracy(),
+		IFPAs:     cl.IFPAs.Accuracy(),
+		IFPAsLoop: ifpasLoop.Accuracy(),
+	}
 }
 
 // Render formats the table.

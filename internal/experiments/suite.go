@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"branchcorr/internal/bp"
 	"branchcorr/internal/core"
@@ -106,32 +107,68 @@ type baseBundle struct {
 	pas    *sim.Result
 }
 
+// memo is a sync.Once-keyed memoization table: the first caller of a key
+// computes the value while concurrent callers of the same key block and
+// then share it, so parallel report cells never duplicate an expensive
+// per-trace artifact (oracle passes, classifications, baseline runs).
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+}
+
+// get returns the memoized value for key, computing it at most once.
+func (m *memo[T]) get(key string, compute func() T) T {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[string]*memoEntry[T])
+	}
+	e := m.m[key]
+	if e == nil {
+		e = &memoEntry[T]{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.val = compute() })
+	return e.val
+}
+
 // Suite generates the workload traces once and computes shared
-// intermediates lazily. It is not safe for concurrent use.
+// intermediates lazily. Shared intermediates are memoized behind
+// sync.Once keys, so exhibit methods (and the per-workload report cells
+// BuildReport schedules) are safe to call concurrently.
 type Suite struct {
 	cfg     Config
 	traces  []*trace.Trace
-	global  map[string]*globalBundle
-	classes map[string]*core.PAClassification
-	base    map[string]*baseBundle
+	global  memo[*globalBundle]
+	classes memo[*core.PAClassification]
+	base    memo[*baseBundle]
 	log     func(format string, args ...any)
 }
 
 // NewSuite generates traces for the configured workloads and returns a
 // ready suite. logf, if non-nil, receives progress lines (trace
-// generation and oracle passes are the slow steps).
+// generation and oracle passes are the slow steps); the suite serializes
+// calls to it, so the callback itself need not be safe for concurrent
+// use.
 func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error) {
 	cfg = cfg.withDefaults()
 	if logf == nil {
 		logf = func(string, ...any) {}
+	} else {
+		var mu sync.Mutex
+		inner := logf
+		logf = func(format string, args ...any) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(format, args...)
+		}
 	}
-	s := &Suite{
-		cfg:     cfg,
-		global:  make(map[string]*globalBundle),
-		classes: make(map[string]*core.PAClassification),
-		base:    make(map[string]*baseBundle),
-		log:     logf,
-	}
+	s := &Suite{cfg: cfg, log: logf}
 	for _, name := range cfg.Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -167,50 +204,53 @@ func (s *Suite) newPAs() bp.Predictor {
 }
 
 // globalFor computes (once) the selective/IF-gshare/gshare results for a
-// trace at the configured oracle window.
+// trace at the configured oracle window. Concurrent callers for the same
+// trace block on one computation and share its bundle.
 func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
-	if b, ok := s.global[tr.Name()]; ok {
+	return s.global.get(tr.Name(), func() *globalBundle {
+		s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
+		sels := core.BuildSelective(tr, s.cfg.Oracle)
+		preds := []bp.Predictor{
+			core.NewSelective(fmt.Sprintf("IF 1-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[1]),
+			core.NewSelective(fmt.Sprintf("IF 2-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[2]),
+			core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[3]),
+			s.newIFGshare(),
+			s.newGshare(),
+		}
+		s.log("%s: simulating selective + gshare predictors", tr.Name())
+		rs := sim.Run(tr, preds...)
+		b := &globalBundle{ifg: rs[3], g: rs[4], sels: sels}
+		b.sel[1], b.sel[2], b.sel[3] = rs[0], rs[1], rs[2]
 		return b
-	}
-	s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
-	sels := core.BuildSelective(tr, s.cfg.Oracle)
-	preds := []bp.Predictor{
-		core.NewSelective(fmt.Sprintf("IF 1-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[1]),
-		core.NewSelective(fmt.Sprintf("IF 2-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[2]),
-		core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[3]),
-		s.newIFGshare(),
-		s.newGshare(),
-	}
-	s.log("%s: simulating selective + gshare predictors", tr.Name())
-	rs := sim.Run(tr, preds...)
-	b := &globalBundle{ifg: rs[3], g: rs[4], sels: sels}
-	b.sel[1], b.sel[2], b.sel[3] = rs[0], rs[1], rs[2]
-	s.global[tr.Name()] = b
-	return b
+	})
 }
 
 // classFor computes (once) the per-address classification of a trace.
 func (s *Suite) classFor(tr *trace.Trace) *core.PAClassification {
-	if c, ok := s.classes[tr.Name()]; ok {
-		return c
-	}
-	s.log("%s: per-address classification", tr.Name())
-	c := core.ClassifyPerAddress(tr, core.ClassifyConfig{IFPAsHistoryBits: s.cfg.IFPAsBits})
-	s.classes[tr.Name()] = c
-	return c
+	return s.classes.get(tr.Name(), func() *core.PAClassification {
+		s.log("%s: per-address classification", tr.Name())
+		return core.ClassifyPerAddress(tr, core.ClassifyConfig{IFPAsHistoryBits: s.cfg.IFPAsBits})
+	})
 }
 
 // baseFor computes (once) the ideal-static, gshare, and PAs baselines.
 func (s *Suite) baseFor(tr *trace.Trace) *baseBundle {
-	if b, ok := s.base[tr.Name()]; ok {
-		return b
+	return s.base.get(tr.Name(), func() *baseBundle {
+		s.log("%s: baseline predictors (static, gshare, PAs)", tr.Name())
+		stats := trace.Summarize(tr)
+		rs := sim.Run(tr, bp.NewIdealStatic(stats), s.newGshare(), s.newPAs())
+		return &baseBundle{static: rs[0], gshare: rs[1], pas: rs[2]}
+	})
+}
+
+// traceByName returns the suite trace with the given benchmark name.
+func (s *Suite) traceByName(name string) *trace.Trace {
+	for _, tr := range s.traces {
+		if tr.Name() == name {
+			return tr
+		}
 	}
-	s.log("%s: baseline predictors (static, gshare, PAs)", tr.Name())
-	stats := trace.Summarize(tr)
-	rs := sim.Run(tr, bp.NewIdealStatic(stats), s.newGshare(), s.newPAs())
-	b := &baseBundle{static: rs[0], gshare: rs[1], pas: rs[2]}
-	s.base[tr.Name()] = b
-	return b
+	return nil
 }
 
 // pct formats a fraction as a percentage with two decimals.

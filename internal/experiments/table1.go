@@ -26,23 +26,28 @@ type Table1Result struct {
 
 // Table1 summarizes the benchmark traces.
 func (s *Suite) Table1() *Table1Result {
-	res := &Table1Result{}
-	for _, tr := range s.traces {
-		w, _ := workloads.ByName(tr.Name())
-		st := trace.Summarize(tr)
-		desc := ""
-		if w != nil {
-			desc = w.Description()
-		}
-		res.Rows = append(res.Rows, Table1Row{
-			Benchmark: tr.Name(),
-			Input:     desc,
-			Branches:  st.Dynamic,
-			Static:    st.Static,
-			TakenRate: st.TakenRate(),
-		})
+	res := &Table1Result{Rows: make([]Table1Row, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.table1Cell(tr)
 	}
 	return res
+}
+
+// table1Cell computes one benchmark's Table 1 row.
+func (s *Suite) table1Cell(tr *trace.Trace) Table1Row {
+	w, _ := workloads.ByName(tr.Name())
+	st := trace.Summarize(tr)
+	desc := ""
+	if w != nil {
+		desc = w.Description()
+	}
+	return Table1Row{
+		Benchmark: tr.Name(),
+		Input:     desc,
+		Branches:  st.Dynamic,
+		Static:    st.Static,
+		TakenRate: st.TakenRate(),
+	}
 }
 
 // Render formats the table.

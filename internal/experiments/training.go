@@ -36,22 +36,32 @@ type TrainingResult struct {
 
 // Training measures cold-start vs steady-state accuracy per benchmark.
 func (s *Suite) Training() *TrainingResult {
+	res := &TrainingResult{Bucket: s.trainingBucket(), Rows: make([]TrainingRow, len(s.traces))}
+	for i, tr := range s.traces {
+		res.Rows[i] = s.trainingCell(tr)
+	}
+	return res
+}
+
+// trainingBucket is the timeline bucket size the training exhibit uses.
+func (s *Suite) trainingBucket() int {
 	bucket := s.cfg.Length / 20
 	if bucket < 1000 {
 		bucket = 1000
 	}
-	res := &TrainingResult{Bucket: bucket}
-	for _, tr := range s.traces {
-		s.log("%s: training timelines", tr.Name())
-		tls := sim.RunTimeline(tr, bucket,
-			s.newGshare(), s.newIFGshare(), bp.NewBimodal(14))
-		row := TrainingRow{Benchmark: tr.Name()}
-		row.ColdGshare, row.WarmGshare = coldWarm(tls[0])
-		row.ColdIFGshare, row.WarmIFGshare = coldWarm(tls[1])
-		row.ColdBimodal, row.WarmBimodal = coldWarm(tls[2])
-		res.Rows = append(res.Rows, row)
-	}
-	return res
+	return bucket
+}
+
+// trainingCell measures one benchmark's cold-start vs steady state.
+func (s *Suite) trainingCell(tr *trace.Trace) TrainingRow {
+	s.log("%s: training timelines", tr.Name())
+	tls := sim.RunTimeline(tr, s.trainingBucket(),
+		s.newGshare(), s.newIFGshare(), bp.NewBimodal(14))
+	row := TrainingRow{Benchmark: tr.Name()}
+	row.ColdGshare, row.WarmGshare = coldWarm(tls[0])
+	row.ColdIFGshare, row.WarmIFGshare = coldWarm(tls[1])
+	row.ColdBimodal, row.WarmBimodal = coldWarm(tls[2])
+	return row
 }
 
 func coldWarm(tl *sim.Timeline) (cold, warm float64) {
@@ -86,13 +96,7 @@ func (r *TrainingResult) Render() string {
 // TimelineFor renders a full accuracy timeline for one of the suite's
 // benchmarks as an ASCII chart.
 func (s *Suite) TimelineFor(name string, bucket int) (string, error) {
-	var tr *trace.Trace
-	for _, cand := range s.traces {
-		if cand.Name() == name {
-			tr = cand
-			break
-		}
-	}
+	tr := s.traceByName(name)
 	if tr == nil {
 		return "", fmt.Errorf("experiments: benchmark %q not in suite", name)
 	}

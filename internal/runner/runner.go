@@ -1,0 +1,121 @@
+// Package runner schedules independent report cells across a worker
+// pool deterministically. A cell is one exhibit evaluated over one
+// workload; the experiment suite's exhibits are embarrassingly parallel
+// across that grid, so the pool executes cells in any order while the
+// caller pre-assigns each cell a result slot — merging is then a no-op
+// and the merged report is byte-identical to a sequential run no matter
+// how many workers raced.
+//
+// The runner itself never reads the wall clock (bplint's det-time rule
+// bans it module-wide); benchmarks that want per-cell timing inject it
+// through Options.Wrap.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunFunc executes one cell's work. Implementations write their result
+// into a slot owned exclusively by this cell (e.g. a distinct slice
+// index) so no synchronization is needed on the result side.
+type RunFunc func(ctx context.Context) error
+
+// Cell is one independently executable unit of a report: one exhibit
+// evaluated over one workload.
+type Cell struct {
+	// Exhibit is the canonical exhibit name (e.g. "fig4").
+	Exhibit string
+	// Workload is the benchmark the cell covers (e.g. "gcc"); exhibits
+	// without a per-workload decomposition may leave it empty.
+	Workload string
+	// Run performs the work.
+	Run RunFunc
+}
+
+// String identifies the cell for error messages, e.g. "fig4/gcc".
+func (c Cell) String() string {
+	if c.Workload == "" {
+		return c.Exhibit
+	}
+	return c.Exhibit + "/" + c.Workload
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Parallel is the number of worker goroutines; 0 or negative selects
+	// runtime.GOMAXPROCS(0). The pool never spawns more workers than
+	// there are cells.
+	Parallel int
+	// Wrap, if non-nil, decorates every cell's RunFunc just before the
+	// cell executes. Benchmarks use it to time cells; the decorated
+	// function runs on the worker goroutine, so the wrapper must be safe
+	// for concurrent use.
+	Wrap func(c Cell, run RunFunc) RunFunc
+}
+
+// Run executes the cells across a worker pool and blocks until every
+// started cell has finished. Workers claim cells in slice order, so at
+// Parallel=1 execution order is exactly the canonical (sequential)
+// order.
+//
+// The first cell error cancels the pool's context: cells not yet
+// started are skipped, and the error of the earliest cell (in slice
+// order) that actually ran and failed is returned, wrapped with the
+// cell's identity. If the parent context is cancelled externally, Run
+// returns its error after the in-flight cells drain.
+func Run(ctx context.Context, cells []Cell, opts Options) error {
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if len(cells) == 0 {
+		return ctx.Err()
+	}
+
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next atomic.Int64 // index of the next unclaimed cell
+		errs = make([]error, len(cells))
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if poolCtx.Err() != nil {
+					return // pool aborted: leave remaining cells unrun
+				}
+				run := cells[i].Run
+				if opts.Wrap != nil {
+					run = opts.Wrap(cells[i], run)
+				}
+				if err := run(poolCtx); err != nil {
+					errs[i] = fmt.Errorf("runner: cell %s: %w", cells[i], err)
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
