@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race shuffle cover lint bench
+.PHONY: check build vet test race shuffle cover lint bench bench-oracle
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -29,3 +29,11 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-oracle refreshes the recorded columnar-kernel baseline: the
+# oracle benchmarks (reference vs kernel at 100k and 1M branches) piped
+# through cmd/benchjson into BENCH_oracle.json. The 1M speedup pairs are
+# the acceptance numbers for the kernels (>= 2x).
+bench-oracle:
+	$(GO) test -run '^$$' -bench '(PackedTraceBuild|OracleProfile|OracleJoint)' \
+		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_oracle.json

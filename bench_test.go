@@ -604,6 +604,97 @@ func BenchmarkOraclePasses(b *testing.B) {
 	b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
 }
 
+// benchOracleLengths are the trace scales for the columnar-kernel
+// benchmarks: the standard bench scale, and the paper-scale 1M-branch
+// suite that BENCH_oracle.json's acceptance speedup is recorded at.
+var benchOracleLengths = []int{benchLength, 1_000_000}
+
+// benchTracesN caches traces at non-standard lengths for the oracle
+// kernel benchmarks.
+var benchTracesN = map[string]*trace.Trace{}
+
+func benchTraceN(b *testing.B, name string, n int) *trace.Trace {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d", name, n)
+	if tr, ok := benchTracesN[key]; ok {
+		return tr
+	}
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := w.Generate(n)
+	benchTracesN[key] = tr
+	return tr
+}
+
+// BenchmarkPackedTraceBuild measures trace.Pack — the one-time cost of
+// the columnar view the oracle kernels amortize across passes.
+func BenchmarkPackedTraceBuild(b *testing.B) {
+	for _, n := range benchOracleLengths {
+		tr := benchTraceN(b, "gcc", n)
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			var pt *trace.Packed
+			for i := 0; i < b.N; i++ {
+				pt = trace.Pack(tr)
+			}
+			if pt.Len() != tr.Len() {
+				b.Fatalf("packed %d of %d records", pt.Len(), tr.Len())
+			}
+			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+		})
+	}
+}
+
+// BenchmarkOracleProfile measures oracle pass 1 (candidate profiling):
+// the pre-kernel reference against the columnar kernel over a pre-built
+// packed view. The impl=ref / impl=kernel pair at each length is the
+// speedup BENCH_oracle.json records.
+func BenchmarkOracleProfile(b *testing.B) {
+	cfg := core.OracleConfig{WindowLen: 16}
+	for _, n := range benchOracleLengths {
+		tr := benchTraceN(b, "gcc", n)
+		pt := trace.Pack(tr)
+		b.Run(fmt.Sprintf("len=%d/impl=ref", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ReferenceProfileCandidates(tr, cfg)
+			}
+			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+		})
+		b.Run(fmt.Sprintf("len=%d/impl=kernel", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ProfileCandidatesPacked(pt, cfg)
+			}
+			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+		})
+	}
+}
+
+// BenchmarkOracleJoint measures oracle passes 2+3 (pair/triple subset
+// scoring) from a fixed candidate beam: the reference's two jointPass
+// trace streams against the kernel's single collection stream plus
+// bit-sliced popcount scoring.
+func BenchmarkOracleJoint(b *testing.B) {
+	cfg := core.OracleConfig{WindowLen: 16}
+	for _, n := range benchOracleLengths {
+		tr := benchTraceN(b, "gcc", n)
+		pt := trace.Pack(tr)
+		cands := core.ProfileCandidatesPacked(pt, cfg)
+		b.Run(fmt.Sprintf("len=%d/impl=ref", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ReferenceSelectRefs(tr, cands, cfg)
+			}
+			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+		})
+		b.Run(fmt.Sprintf("len=%d/impl=kernel", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SelectRefsPacked(pt, cands, cfg)
+			}
+			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+		})
+	}
+}
+
 // BenchmarkTraceEncoding measures the binary trace codec.
 func BenchmarkTraceEncoding(b *testing.B) {
 	tr := benchTrace(b, "compress")

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, pairing impl=ref / impl=kernel
+// sub-benchmarks into explicit speedup records. The repo's recorded
+// performance baselines (BENCH_oracle.json) are produced by piping the
+// oracle benchmarks through it — see the bench-oracle make target.
+//
+// The output contains no timestamps or host details: re-running the
+// pipeline on the same numbers reproduces the same bytes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Speedup pairs one benchmark's impl=ref and impl=kernel variants.
+type Speedup struct {
+	Name          string  `json:"name"`
+	RefNsPerOp    float64 `json:"ref_ns_per_op"`
+	KernelNsPerOp float64 `json:"kernel_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+// gomaxprocsSuffix is the "-8" style suffix go test appends to the last
+// name segment.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads `go test -bench` output and returns the result lines in
+// input order.
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // PASS/ok trailer or malformed line
+		}
+		b := Benchmark{
+			Name:       gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q", b.Name, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// speedups pairs names that differ only in an /impl=ref vs /impl=kernel
+// segment, sorted by name for stable output.
+func speedups(benches []Benchmark) []Speedup {
+	byImpl := map[string]map[string]float64{} // base name -> impl -> ns/op
+	for _, b := range benches {
+		var base, impl string
+		switch {
+		case strings.Contains(b.Name, "/impl=ref"):
+			base, impl = strings.Replace(b.Name, "/impl=ref", "", 1), "ref"
+		case strings.Contains(b.Name, "/impl=kernel"):
+			base, impl = strings.Replace(b.Name, "/impl=kernel", "", 1), "kernel"
+		default:
+			continue
+		}
+		if byImpl[base] == nil {
+			byImpl[base] = map[string]float64{}
+		}
+		byImpl[base][impl] = b.Metrics["ns/op"]
+	}
+	names := make([]string, 0, len(byImpl))
+	for name := range byImpl {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Speedup
+	for _, name := range names {
+		pair := byImpl[name]
+		ref, kernel := pair["ref"], pair["kernel"]
+		if ref == 0 || kernel == 0 {
+			continue // unmatched pair
+		}
+		out = append(out, Speedup{
+			Name:          name,
+			RefNsPerOp:    ref,
+			KernelNsPerOp: kernel,
+			Speedup:       float64(int(100*ref/kernel+0.5)) / 100,
+		})
+	}
+	return out
+}
+
+func main() {
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	doc := Doc{Benchmarks: benches, Speedups: speedups(benches)}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: branchcorr
+BenchmarkPackedTraceBuild/len=100000-8         	      10	   1831194 ns/op	  54646481 branches/s
+BenchmarkOracleProfile/len=100000/impl=ref-8   	       5	  91258348 ns/op	   1095800 branches/s
+BenchmarkOracleProfile/len=100000/impl=kernel-8         	      10	  44392924 ns/op	   2252660 branches/s
+PASS
+ok  	branchcorr	7.487s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	b := benches[1]
+	if b.Name != "OracleProfile/len=100000/impl=ref" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 91258348 {
+		t.Errorf("ns/op = %v", b.Metrics["ns/op"])
+	}
+	if b.Metrics["branches/s"] != 1095800 {
+		t.Errorf("branches/s = %v", b.Metrics["branches/s"])
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	benches, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(benches)
+	if len(sp) != 1 {
+		t.Fatalf("got %d speedup pairs, want 1 (unpaired benchmarks must be skipped)", len(sp))
+	}
+	s := sp[0]
+	if s.Name != "OracleProfile/len=100000" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if s.RefNsPerOp != 91258348 || s.KernelNsPerOp != 44392924 {
+		t.Errorf("pair = %v / %v", s.RefNsPerOp, s.KernelNsPerOp)
+	}
+	if s.Speedup < 2.05 || s.Speedup > 2.06 {
+		t.Errorf("speedup = %v, want 2.06 (two-decimal rounding)", s.Speedup)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	benches, err := parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(benches))
+	}
+}

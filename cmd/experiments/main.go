@@ -11,6 +11,7 @@
 //	experiments -n 200000 -exhibits fig4,table2
 //	experiments -workloads gcc,go -n 2000000
 //	experiments -parallel 1             # sequential execution
+//	experiments -cpuprofile cpu.pb.gz   # profile the run (go tool pprof)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"branchcorr/internal/experiments"
@@ -27,42 +29,78 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 1_000_000, "dynamic branches per workload trace")
-		wls      = flag.String("workloads", "", "comma-separated workload subset (default all)")
-		exhibits = flag.String("exhibits", "all", "comma-separated exhibits: "+strings.Join(experiments.ExhibitOrder(), ","))
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for report cells (output is identical at any value)")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
-		asJSON   = flag.Bool("json", false, "emit one JSON report instead of rendered text")
+		n          = flag.Int("n", 1_000_000, "dynamic branches per workload trace")
+		wls        = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		exhibits   = flag.String("exhibits", "all", "comma-separated exhibits: "+strings.Join(experiments.ExhibitOrder(), ","))
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for report cells (output is identical at any value)")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+		asJSON     = flag.Bool("json", false, "emit one JSON report instead of rendered text")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	if err := run(*n, *wls, *exhibits, *parallel, *quiet, *asJSON, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program behind the flag parse; returning instead of
+// exiting lets the profile writers run (and flush) on every path.
+func run(n int, wls, exhibits string, parallel int, quiet, asJSON bool, cpuprofile, memprofile string) (err error) {
 	if flag.NArg() > 0 {
-		fatal(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+		return fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0))
 	}
 
-	cfg := experiments.Config{Length: *n}
-	if *wls != "" {
-		cfg.Workloads = strings.Split(*wls, ",")
+	if cpuprofile != "" {
+		f, ferr := os.Create(cpuprofile)
+		if ferr != nil {
+			return ferr
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			_ = f.Close()
+			return perr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if memprofile != "" {
+		defer func() {
+			if err != nil {
+				return
+			}
+			err = writeMemProfile(memprofile)
+		}()
+	}
+
+	cfg := experiments.Config{Length: n}
+	if wls != "" {
+		cfg.Workloads = strings.Split(wls, ",")
 	}
 	// Progress goes to stderr without timestamps: the report itself must be
 	// byte-identical across runs, and wall-clock reads are banned
 	// module-wide by bplint's det-time rule.
 	logf := func(format string, args ...any) {
-		if !*quiet {
+		if !quiet {
 			fmt.Fprintf(os.Stderr, "experiments: %s\n", fmt.Sprintf(format, args...))
 		}
 	}
 	suite, err := experiments.NewSuite(cfg, logf)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg = suite.Config() // pick up the suite's defaults (fig9 benchmarks etc.)
 
-	want, err := wantExhibits(*exhibits)
+	want, err := wantExhibits(exhibits)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	// fig9 needs gcc and perl unless overridden alongside -workloads.
-	if want["fig9"] && *wls != "" && !suite.Fig9Available() {
+	if want["fig9"] && wls != "" && !suite.Fig9Available() {
 		fmt.Fprintf(os.Stderr, "experiments: skipping fig9 (needs %s in -workloads)\n",
 			strings.Join(cfg.Fig9Benchmarks, " and "))
 		delete(want, "fig9")
@@ -74,15 +112,12 @@ func main() {
 		}
 	}
 
-	report, err := suite.BuildReport(context.Background(), names, runner.Options{Parallel: *parallel})
+	report, err := suite.BuildReport(context.Background(), names, runner.Options{Parallel: parallel})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *asJSON {
-		if err := report.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
-		}
-		return
+	if asJSON {
+		return report.WriteJSON(os.Stdout)
 	}
 	for _, e := range names {
 		if out, ok := report.RenderExhibit(e); ok {
@@ -90,6 +125,22 @@ func main() {
 			fmt.Println(out)
 		}
 	}
+	return nil
+}
+
+// writeMemProfile snapshots the allocation profile after a final GC, so
+// the profile reflects live heap plus cumulative allocation sites.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // wantExhibits parses the -exhibits flag into a set of canonical names;
@@ -114,9 +165,4 @@ func wantExhibits(spec string) (map[string]bool, error) {
 		want[e] = true
 	}
 	return want, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

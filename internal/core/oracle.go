@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"branchcorr/internal/trace"
 )
@@ -18,10 +17,27 @@ type OracleConfig struct {
 	TopK int
 	// MaxCandidates caps the per-branch candidate statistics table; when
 	// it overflows, the rarest candidates are pruned (default 2048).
+	//
+	// Pruning is a mid-stream heuristic with a deliberate, deterministic
+	// bias: a candidate pruned at the 2×MaxCandidates watermark and later
+	// re-observed restarts its joint counts from zero, so its profile
+	// score reflects only the suffix of the trace after its last
+	// eviction. Tracking tombstones for every evicted candidate would
+	// reinstate exactly the memory pressure the cap exists to bound, so
+	// the bias is kept, pinned by regression test (the kernel and
+	// reference implementations reproduce it bit-identically), and
+	// bounded in practice by the presence-ranked eviction order: a
+	// candidate must be among the rarest half of 2×MaxCandidates refs to
+	// be evicted at all.
 	MaxCandidates int
 	// Schemes restricts tagging to a subset of schemes; empty means both
 	// (the paper's configuration). Used by the tag-scheme ablation.
 	Schemes []Scheme
+	// ScoreParallel is the number of workers for the per-branch subset
+	// scoring stage of SelectRefs (the pair/triple kernels); 0 selects
+	// GOMAXPROCS. Scoring writes into pre-assigned per-branch slots, so
+	// the Selections are identical at every parallelism level.
+	ScoreParallel int
 }
 
 // maxTopK bounds the beam width (and the States scratch arrays).
@@ -55,72 +71,11 @@ func (c OracleConfig) schemeAllowed(s Scheme) bool {
 	return false
 }
 
-// candStats accumulates, for one (current branch, candidate ref) pair,
-// the joint distribution of the candidate's present-state and the current
-// branch's outcome: cnt[state][outcome], state in {T, N}, outcome in
-// {T, N}. Absent counts are derived from the branch totals.
-type candStats struct {
-	cnt [2][2]uint32
-}
-
-// branchProfile is the pass-1 state for one static branch.
-type branchProfile struct {
-	total [2]uint32 // outcome totals: [taken, not-taken]
-	cands map[Ref]*candStats
-}
-
-// profileScore is the number of correct predictions an ideal statically
-// filled PHT would make for this branch using only the candidate's
-// 3-valued state: for each state, the majority outcome count.
-func (p *branchProfile) profileScore(r Ref) uint32 {
-	cs := p.cands[r]
-	if cs == nil {
-		return 0
-	}
-	score := uint32(0)
-	var present [2]uint32 // presence per outcome
-	for s := 0; s < 2; s++ {
-		score += max32(cs.cnt[s][0], cs.cnt[s][1])
-		present[0] += cs.cnt[s][0]
-		present[1] += cs.cnt[s][1]
-	}
-	return score + max32(p.total[0]-present[0], p.total[1]-present[1])
-}
-
 func max32(a, b uint32) uint32 {
 	if a > b {
 		return a
 	}
 	return b
-}
-
-// prune keeps only the maxKeep candidates with the highest presence
-// counts.
-func (p *branchProfile) prune(maxKeep int) {
-	if len(p.cands) <= maxKeep {
-		return
-	}
-	type kv struct {
-		ref  Ref
-		pres uint32
-	}
-	all := make([]kv, 0, len(p.cands))
-	for ref, cs := range p.cands {
-		pres := cs.cnt[0][0] + cs.cnt[0][1] + cs.cnt[1][0] + cs.cnt[1][1]
-		all = append(all, kv{ref, pres})
-	}
-	// Total order (presence, then ref identity): equal-presence ties must
-	// not be broken by map iteration order, or the surviving candidate set
-	// would differ run to run.
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].pres != all[j].pres {
-			return all[i].pres > all[j].pres
-		}
-		return refLess(all[i].ref, all[j].ref)
-	})
-	for _, e := range all[maxKeep:] {
-		delete(p.cands, e.ref)
-	}
 }
 
 // Candidates is the per-branch outcome of oracle pass 1: the TopK
@@ -129,111 +84,6 @@ type Candidates struct {
 	Refs   []Ref
 	Scores []uint32 // profile scores aligned with Refs
 	Total  int      // dynamic executions of the branch
-}
-
-// ProfileCandidates performs oracle pass 1: it streams the trace once,
-// counting for every static branch the joint distribution of each
-// candidate tagged instance's state with the branch's outcome, and
-// returns each branch's TopK candidates ranked by profile score.
-func ProfileCandidates(t *trace.Trace, cfg OracleConfig) map[trace.Addr]*Candidates {
-	cfg = cfg.withDefaults()
-	window := NewWindow(cfg.WindowLen)
-	profiles := make(map[trace.Addr]*branchProfile)
-	for _, r := range t.Records() {
-		p := profiles[r.PC]
-		if p == nil {
-			p = &branchProfile{cands: make(map[Ref]*candStats)}
-			profiles[r.PC] = p
-		}
-		out := 0
-		if !r.Taken {
-			out = 1
-		}
-		p.total[out]++
-		window.Visit(func(ref Ref, taken bool) bool {
-			if !cfg.schemeAllowed(ref.Scheme) {
-				return true
-			}
-			cs := p.cands[ref]
-			if cs == nil {
-				if len(p.cands) >= 2*cfg.MaxCandidates {
-					p.prune(cfg.MaxCandidates)
-				}
-				cs = &candStats{}
-				p.cands[ref] = cs
-			}
-			s := 0
-			if !taken {
-				s = 1
-			}
-			cs.cnt[s][out]++
-			return true
-		})
-		window.Push(r)
-	}
-
-	result := make(map[trace.Addr]*Candidates, len(profiles))
-	for pc, p := range profiles {
-		type scored struct {
-			ref      Ref
-			score    uint32
-			presence uint32
-		}
-		all := make([]scored, 0, len(p.cands))
-		for ref, cs := range p.cands {
-			pres := cs.cnt[0][0] + cs.cnt[0][1] + cs.cnt[1][0] + cs.cnt[1][1]
-			all = append(all, scored{ref, p.profileScore(ref), pres})
-		}
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].score != all[j].score {
-				return all[i].score > all[j].score
-			}
-			return refLess(all[i].ref, all[j].ref) // deterministic ties
-		})
-		c := &Candidates{Total: int(p.total[0] + p.total[1])}
-		// The beam mixes two rankings. The first half is the singly-best
-		// candidates by profile score. The second half favors presence
-		// and small tags: for purely interacting correlations (X = Y
-		// AND Z, X = Y XOR Z) no single ref scores above noise, so score
-		// rank is arbitrary — but the components of real interactions
-		// are close to the branch and frequently in its window (section
-		// 3.6.2: "the most correlated branches are close together"), so
-		// nearby ever-present refs are the right tie-break.
-		k := cfg.TopK
-		if k > len(all) {
-			k = len(all)
-		}
-		scoreHalf := (k + 1) / 2
-		taken := make(map[Ref]bool, k)
-		for _, e := range all[:scoreHalf] {
-			c.Refs = append(c.Refs, e.ref)
-			c.Scores = append(c.Scores, e.score)
-			taken[e.ref] = true
-		}
-		rest := make([]scored, 0, len(all)-scoreHalf)
-		rest = append(rest, all[scoreHalf:]...)
-		sort.Slice(rest, func(i, j int) bool {
-			if rest[i].presence != rest[j].presence {
-				return rest[i].presence > rest[j].presence
-			}
-			if rest[i].ref.Tag != rest[j].ref.Tag {
-				return rest[i].ref.Tag < rest[j].ref.Tag
-			}
-			return refLess(rest[i].ref, rest[j].ref)
-		})
-		for _, e := range rest {
-			if len(c.Refs) >= k {
-				break
-			}
-			if taken[e.ref] {
-				continue
-			}
-			c.Refs = append(c.Refs, e.ref)
-			c.Scores = append(c.Scores, e.score)
-		}
-		result[pc] = c
-	}
-	return result
 }
 
 func refLess(a, b Ref) bool {
@@ -254,46 +104,6 @@ type Selections struct {
 	BySize [MaxSelectiveRefs + 1]Assignment
 }
 
-// jointPass streams the trace once and tabulates, for every branch and
-// every listed ref subset, the exact joint (state-vector → outcome)
-// distribution. subsets[pc] lists index tuples into cands[pc].Refs;
-// counts are returned as flattened [subset][pattern][outcome] arrays.
-func jointPass(t *trace.Trace, cands map[trace.Addr]*Candidates,
-	subsets map[trace.Addr][][]int, windowLen int) map[trace.Addr][][]uint32 {
-	counts := make(map[trace.Addr][][]uint32, len(subsets))
-	for pc, subs := range subsets {
-		arr := make([][]uint32, len(subs))
-		for i, sub := range subs {
-			arr[i] = make([]uint32, pow3[len(sub)]*2)
-		}
-		counts[pc] = arr
-	}
-	window := NewWindow(windowLen)
-	var states [maxTopK]State
-	for _, r := range t.Records() {
-		subs := subsets[r.PC]
-		if subs != nil {
-			refs := cands[r.PC].Refs
-			st := states[:len(refs)]
-			window.States(refs, st)
-			out := 0
-			if !r.Taken {
-				out = 1
-			}
-			arr := counts[r.PC]
-			for si, sub := range subs {
-				idx := 0
-				for j := len(sub) - 1; j >= 0; j-- {
-					idx = idx*NumStates + int(st[sub[j]])
-				}
-				arr[si][idx*2+out]++
-			}
-		}
-		window.Push(r)
-	}
-	return counts
-}
-
 // subsetScore is the statically-filled-PHT correct count for one subset's
 // joint distribution.
 func subsetScore(flat []uint32) uint32 {
@@ -302,6 +112,18 @@ func subsetScore(flat []uint32) uint32 {
 		score += max32(flat[p*2], flat[p*2+1])
 	}
 	return score
+}
+
+// ProfileCandidates performs oracle pass 1: it streams the trace once,
+// counting for every static branch the joint distribution of each
+// candidate tagged instance's state with the branch's outcome, and
+// returns each branch's TopK candidates ranked by profile score.
+//
+// The work runs on the columnar kernel over a freshly packed trace view
+// (see ProfileCandidatesPacked); callers holding a shared trace.Packed
+// should call the packed variant directly to amortize the packing pass.
+func ProfileCandidates(t *trace.Trace, cfg OracleConfig) map[trace.Addr]*Candidates {
+	return ProfileCandidatesPacked(trace.Pack(t), cfg)
 }
 
 // SelectRefs performs oracle passes 2 and 3: with each branch's TopK
@@ -314,112 +136,24 @@ func subsetScore(flat []uint32) uint32 {
 // approximates the paper's oracle choice of "the 1, 2 or 3 most important
 // branches" (section 3.4); the approximation is exact for sizes 1 and 2
 // within the beam.
+//
+// The columnar kernel folds the reference implementation's two
+// tabulation streams into a single trace pass that records one packed
+// state vector per dynamic instance, then scores all pairs and triples
+// from the per-branch instance matrices (see SelectRefsPacked).
 func SelectRefs(t *trace.Trace, cands map[trace.Addr]*Candidates, cfg OracleConfig) *Selections {
-	cfg = cfg.withDefaults()
-
-	// Pass 2: all pairs among the beam.
-	pairSubs := make(map[trace.Addr][][]int, len(cands))
-	for pc, c := range cands {
-		n := len(c.Refs)
-		if n == 0 {
-			continue
-		}
-		var subs [][]int
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				subs = append(subs, []int{i, j})
-			}
-		}
-		if len(subs) == 0 {
-			subs = [][]int{{0}} // single candidate: keep a size-1 subset
-		}
-		pairSubs[pc] = subs
-	}
-	pairCounts := jointPass(t, cands, pairSubs, cfg.WindowLen)
-
-	type chosen struct {
-		pair      []int
-		pairScore uint32
-	}
-	bestPairs := make(map[trace.Addr]chosen, len(cands))
-	for pc, subs := range pairSubs {
-		arr := pairCounts[pc]
-		var best chosen
-		for si, sub := range subs {
-			if s := subsetScore(arr[si]); best.pair == nil || s > best.pairScore {
-				best = chosen{pair: sub, pairScore: s}
-			}
-		}
-		bestPairs[pc] = best
-	}
-
-	// Pass 3: extend each branch's best pair with every remaining beam
-	// candidate.
-	tripleSubs := make(map[trace.Addr][][]int, len(cands))
-	for pc, best := range bestPairs {
-		if len(best.pair) < 2 {
-			continue // single-candidate branch: no triples
-		}
-		n := len(cands[pc].Refs)
-		var subs [][]int
-		for i := 0; i < n; i++ {
-			if i == best.pair[0] || i == best.pair[1] {
-				continue
-			}
-			tri := []int{best.pair[0], best.pair[1], i}
-			sort.Ints(tri)
-			subs = append(subs, tri)
-		}
-		if len(subs) > 0 {
-			tripleSubs[pc] = subs
-		}
-	}
-	tripleCounts := jointPass(t, cands, tripleSubs, cfg.WindowLen)
-
-	sel := &Selections{}
-	for k := 1; k <= MaxSelectiveRefs; k++ {
-		sel.BySize[k] = make(Assignment, len(cands))
-	}
-	for pc, c := range cands {
-		if len(c.Refs) == 0 {
-			continue
-		}
-		// Size 1: pass 1's exact single scores cover all candidates.
-		sel.BySize[1][pc] = []Ref{c.Refs[0]}
-
-		// Size 2: the exact best pair (or the lone candidate).
-		best := bestPairs[pc]
-		pairRefs := make([]Ref, len(best.pair))
-		for i, ri := range best.pair {
-			pairRefs[i] = c.Refs[ri]
-		}
-		sel.BySize[2][pc] = pairRefs
-
-		// Size 3: the best greedy extension if it improves on the pair,
-		// else the pair itself.
-		chosenTriple := pairRefs
-		bestScore := best.pairScore
-		if subs, ok := tripleSubs[pc]; ok {
-			arr := tripleCounts[pc]
-			for si, sub := range subs {
-				if s := subsetScore(arr[si]); s > bestScore {
-					bestScore = s
-					tri := make([]Ref, 3)
-					for i, ri := range sub {
-						tri[i] = c.Refs[ri]
-					}
-					chosenTriple = tri
-				}
-			}
-		}
-		sel.BySize[3][pc] = chosenTriple
-	}
-	return sel
+	return SelectRefsPacked(trace.Pack(t), cands, cfg)
 }
 
 // BuildSelective is the full oracle pipeline: profile candidates, select
 // ref subsets, and return ready-to-run selective-history assignments for
 // sizes 1..MaxSelectiveRefs.
 func BuildSelective(t *trace.Trace, cfg OracleConfig) *Selections {
-	return SelectRefs(t, ProfileCandidates(t, cfg), cfg)
+	return BuildSelectivePacked(trace.Pack(t), cfg)
+}
+
+// BuildSelectivePacked is BuildSelective over a pre-built columnar trace
+// view, packing the trace exactly zero times.
+func BuildSelectivePacked(pt *trace.Packed, cfg OracleConfig) *Selections {
+	return SelectRefsPacked(pt, ProfileCandidatesPacked(pt, cfg), cfg)
 }

@@ -109,7 +109,7 @@ func (s *Suite) figure5Cell(ctx context.Context, tr *trace.Trace) []float64 {
 			s.log("%s: oracle selection (window %d)", tr.Name(), n)
 			ocfg := s.cfg.Oracle
 			ocfg.WindowLen = n
-			sels := core.BuildSelective(tr, ocfg)
+			sels := s.oracleBuild(tr, ocfg)
 			p := core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3])
 			r = sim.RunOne(tr, p)
 		}

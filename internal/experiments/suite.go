@@ -147,7 +147,14 @@ type Suite struct {
 	global  memo[*globalBundle]
 	classes memo[*core.PAClassification]
 	base    memo[*baseBundle]
+	packed  memo[*trace.Packed]
 	log     func(format string, args ...any)
+
+	// oracleBuild runs the full oracle pipeline for one trace/config. It
+	// defaults to the columnar kernels over the memoized packed view;
+	// differential tests swap in core.ReferenceBuildSelective to prove
+	// report bytes are implementation-independent.
+	oracleBuild func(tr *trace.Trace, cfg core.OracleConfig) *core.Selections
 }
 
 // NewSuite generates traces for the configured workloads and returns a
@@ -169,6 +176,9 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 		}
 	}
 	s := &Suite{cfg: cfg, log: logf}
+	s.oracleBuild = func(tr *trace.Trace, ocfg core.OracleConfig) *core.Selections {
+		return core.BuildSelectivePacked(s.packedFor(tr), ocfg)
+	}
 	for _, name := range cfg.Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -203,13 +213,23 @@ func (s *Suite) newPAs() bp.Predictor {
 	return bp.NewPAs(s.cfg.PAsHistBits, s.cfg.PAsBHTBits, s.cfg.PAsPHTBits)
 }
 
+// packedFor builds (once) the columnar view of a trace; every oracle
+// pass over the trace shares the same Packed, so interning and bitset
+// construction are paid once per trace, not once per window length.
+func (s *Suite) packedFor(tr *trace.Trace) *trace.Packed {
+	return s.packed.get(tr.Name(), func() *trace.Packed {
+		s.log("%s: packing columnar trace view", tr.Name())
+		return trace.Pack(tr)
+	})
+}
+
 // globalFor computes (once) the selective/IF-gshare/gshare results for a
 // trace at the configured oracle window. Concurrent callers for the same
 // trace block on one computation and share its bundle.
 func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
 	return s.global.get(tr.Name(), func() *globalBundle {
 		s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
-		sels := core.BuildSelective(tr, s.cfg.Oracle)
+		sels := s.oracleBuild(tr, s.cfg.Oracle)
 		preds := []bp.Predictor{
 			core.NewSelective(fmt.Sprintf("IF 1-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[1]),
 			core.NewSelective(fmt.Sprintf("IF 2-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[2]),

@@ -1,0 +1,101 @@
+package trace
+
+// Packed is a columnar (structure-of-arrays) view of a Trace, built once
+// and shared by analyses whose inner loops would otherwise pay per-record
+// struct loads and per-address map lookups:
+//
+//   - every static branch site is interned to a dense ID (first-appearance
+//     order), so per-branch state lives in flat slices indexed by ID
+//     instead of maps keyed by Addr;
+//   - the Taken and Backward columns are bitsets, one bit per dynamic
+//     record, so direction tests are a shift and mask over cache-resident
+//     words.
+//
+// The view is immutable after Pack and safe for concurrent readers; the
+// experiment suite memoizes one Packed per trace (sync.Once) and hands it
+// to every oracle pass.
+type Packed struct {
+	name  string
+	ids   []int32 // dense branch ID per dynamic record
+	addrs []Addr  // ID -> static branch address, first-appearance order
+	idOf  map[Addr]int32
+	taken []uint64 // bit i = record i resolved taken
+	back  []uint64 // bit i = record i is a backward (loop-closing) branch
+}
+
+// Pack builds the columnar view of t in one linear pass. Dense IDs are
+// assigned in order of first appearance, so packing is deterministic for
+// a given trace.
+func Pack(t *Trace) *Packed {
+	recs := t.Records()
+	words := (len(recs) + 63) / 64
+	p := &Packed{
+		name:  t.Name(),
+		ids:   make([]int32, len(recs)),
+		idOf:  make(map[Addr]int32),
+		taken: make([]uint64, words),
+		back:  make([]uint64, words),
+	}
+	for i, r := range recs {
+		id, ok := p.idOf[r.PC]
+		if !ok {
+			id = int32(len(p.addrs))
+			p.idOf[r.PC] = id
+			p.addrs = append(p.addrs, r.PC)
+		}
+		p.ids[i] = id
+		if r.Taken {
+			p.taken[i>>6] |= 1 << (uint(i) & 63)
+		}
+		if r.Backward {
+			p.back[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return p
+}
+
+// Name returns the source trace's name.
+func (p *Packed) Name() string { return p.name }
+
+// Len returns the number of dynamic records.
+func (p *Packed) Len() int { return len(p.ids) }
+
+// NumBranches returns the number of distinct static branch sites.
+func (p *Packed) NumBranches() int { return len(p.addrs) }
+
+// IDs exposes the dense-ID column for read-only iteration. Callers must
+// not modify it.
+func (p *Packed) IDs() []int32 { return p.ids }
+
+// ID returns record i's dense branch ID.
+func (p *Packed) ID(i int) int32 { return p.ids[i] }
+
+// AddrOf returns the static address interned as id.
+func (p *Packed) AddrOf(id int32) Addr { return p.addrs[id] }
+
+// Addrs exposes the ID -> address table for read-only iteration. Callers
+// must not modify it.
+func (p *Packed) Addrs() []Addr { return p.addrs }
+
+// IDOf returns the dense ID of a static address, if the address appears
+// in the trace.
+func (p *Packed) IDOf(a Addr) (int32, bool) {
+	id, ok := p.idOf[a]
+	return id, ok
+}
+
+// Taken reports record i's resolved direction.
+func (p *Packed) Taken(i int) bool {
+	return p.taken[i>>6]>>(uint(i)&63)&1 != 0
+}
+
+// Backward reports whether record i is a backward branch.
+func (p *Packed) Backward(i int) bool {
+	return p.back[i>>6]>>(uint(i)&63)&1 != 0
+}
+
+// Record reconstructs record i from the columns (the inverse of Pack,
+// used by tests and by consumers that need an occasional AoS view).
+func (p *Packed) Record(i int) Record {
+	return Record{PC: p.addrs[p.ids[i]], Taken: p.Taken(i), Backward: p.Backward(i)}
+}

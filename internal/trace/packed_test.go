@@ -1,0 +1,86 @@
+package trace
+
+import "testing"
+
+func packTestTrace() *Trace {
+	tr := New("packed", 0)
+	tr.Append(Record{PC: 0x400, Taken: true})
+	tr.Append(Record{PC: 0x404, Taken: false})
+	tr.Append(Record{PC: 0x400, Taken: false})
+	tr.Append(Record{PC: 0x408, Taken: true, Backward: true})
+	tr.Append(Record{PC: 0x404, Taken: true})
+	return tr
+}
+
+func TestPackRoundTrip(t *testing.T) {
+	tr := packTestTrace()
+	p := Pack(tr)
+	if p.Name() != tr.Name() {
+		t.Errorf("Name = %q, want %q", p.Name(), tr.Name())
+	}
+	if p.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", p.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got, want := p.Record(i), tr.At(i); got != want {
+			t.Errorf("record %d: %v, want %v", i, got, want)
+		}
+		if p.Taken(i) != tr.At(i).Taken || p.Backward(i) != tr.At(i).Backward {
+			t.Errorf("record %d: bit columns disagree with record", i)
+		}
+	}
+}
+
+func TestPackDenseIDsFirstAppearance(t *testing.T) {
+	p := Pack(packTestTrace())
+	if p.NumBranches() != 3 {
+		t.Fatalf("NumBranches = %d, want 3", p.NumBranches())
+	}
+	wantAddrs := []Addr{0x400, 0x404, 0x408}
+	for id, want := range wantAddrs {
+		if got := p.AddrOf(int32(id)); got != want {
+			t.Errorf("AddrOf(%d) = 0x%x, want 0x%x", id, uint32(got), uint32(want))
+		}
+		back, ok := p.IDOf(want)
+		if !ok || back != int32(id) {
+			t.Errorf("IDOf(0x%x) = %d,%v, want %d,true", uint32(want), back, ok, id)
+		}
+	}
+	wantIDs := []int32{0, 1, 0, 2, 1}
+	for i, want := range wantIDs {
+		if p.ID(i) != want {
+			t.Errorf("ID(%d) = %d, want %d", i, p.ID(i), want)
+		}
+	}
+	if _, ok := p.IDOf(0x999); ok {
+		t.Error("IDOf of an absent address reported ok")
+	}
+}
+
+func TestPackLargeBitsets(t *testing.T) {
+	// Cross the 64-record word boundary and check every bit.
+	tr := New("big", 0)
+	for i := 0; i < 200; i++ {
+		tr.Append(Record{
+			PC:       Addr(0x100 + 4*(i%7)),
+			Taken:    i%3 == 0,
+			Backward: i%5 == 0,
+		})
+	}
+	p := Pack(tr)
+	if p.NumBranches() != 7 {
+		t.Fatalf("NumBranches = %d, want 7", p.NumBranches())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if p.Record(i) != tr.At(i) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPackEmptyTrace(t *testing.T) {
+	p := Pack(New("empty", 0))
+	if p.Len() != 0 || p.NumBranches() != 0 {
+		t.Errorf("empty pack: len=%d branches=%d", p.Len(), p.NumBranches())
+	}
+}
