@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race shuffle cover lint bench bench-oracle
+.PHONY: check build vet test race shuffle cover lint bench bench-oracle bench-sim
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -37,3 +37,12 @@ bench:
 bench-oracle:
 	$(GO) test -run '^$$' -bench '(PackedTraceBuild|OracleProfile|OracleJoint)' \
 		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_oracle.json
+
+# bench-sim refreshes the recorded simulation-engine baseline: the
+# per-predictor reference-vs-kernel benchmarks at 100k and 1M branches
+# piped through cmd/benchjson into BENCH_sim.json. The 1M speedup pairs
+# for gshare and bimodal are the acceptance numbers for the columnar
+# engine (>= 3x).
+bench-sim:
+	$(GO) test -run '^$$' -bench 'SimPredictor' \
+		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_sim.json

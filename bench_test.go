@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -692,6 +693,44 @@ func BenchmarkOracleJoint(b *testing.B) {
 			}
 			b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
 		})
+	}
+}
+
+// BenchmarkSimPredictor measures single-predictor simulation throughput:
+// the per-record reference loop against the columnar kernel engine over
+// the memoized packed view. Each iteration simulates the full trace on a
+// fresh predictor (the realistic unit of work: one exhibit cell). The
+// impl=ref / impl=kernel pair at each length is the speedup
+// BENCH_sim.json records; gshare and bimodal at len=1000000 are the
+// acceptance numbers.
+func BenchmarkSimPredictor(b *testing.B) {
+	specs := []string{"bimodal:14", "gshare:16", "gas:12,4", "pas:12,10,6"}
+	for _, spec := range specs {
+		for _, n := range benchOracleLengths {
+			tr := benchTraceN(b, "gcc", n)
+			tr.Packed() // memoized columnar view built outside the timer
+			stats := trace.Summarize(tr)
+			mk := func() bp.Predictor {
+				p, err := bp.Parse(spec, stats)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return p
+			}
+			name, _, _ := strings.Cut(spec, ":")
+			b.Run(fmt.Sprintf("pred=%s/len=%d/impl=ref", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sim.RunReference(tr, mk())
+				}
+				b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+			})
+			b.Run(fmt.Sprintf("pred=%s/len=%d/impl=kernel", name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sim.Run(tr, mk())
+				}
+				b.ReportMetric(float64(tr.Len()*b.N)/b.Elapsed().Seconds(), "branches/s")
+			})
+		}
 	}
 }
 

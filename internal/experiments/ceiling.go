@@ -5,7 +5,6 @@ import (
 
 	"branchcorr/internal/bp"
 	"branchcorr/internal/entropy"
-	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
 	"branchcorr/internal/trace"
 )
@@ -58,7 +57,7 @@ func (s *Suite) ceilingCell(tr *trace.Trace) CeilingRow {
 	s.log("%s: entropy ceilings (k=%d)", tr.Name(), k)
 	local := entropy.LocalCeilings(tr, k)
 	global := entropy.GlobalCeilings(tr, k)
-	rs := sim.Run(tr, bp.NewIFPAs(k), bp.NewIFGshare(k))
+	rs := s.simRun(tr, bp.NewIFPAs(k), bp.NewIFGshare(k))
 	return CeilingRow{
 		Benchmark:    tr.Name(),
 		LocalCeil:    local.Weighted[k],

@@ -147,7 +147,6 @@ type Suite struct {
 	global  memo[*globalBundle]
 	classes memo[*core.PAClassification]
 	base    memo[*baseBundle]
-	packed  memo[*trace.Packed]
 	log     func(format string, args ...any)
 
 	// oracleBuild runs the full oracle pipeline for one trace/config. It
@@ -155,6 +154,17 @@ type Suite struct {
 	// differential tests swap in core.ReferenceBuildSelective to prove
 	// report bytes are implementation-independent.
 	oracleBuild func(tr *trace.Trace, cfg core.OracleConfig) *core.Selections
+
+	// simRun drives a batch of predictors over a trace. It defaults to
+	// sim.Run, whose columnar fast path kicks in when every predictor in
+	// the batch has a batched kernel; differential tests swap in
+	// sim.RunReference to prove report bytes are engine-independent.
+	simRun func(tr *trace.Trace, predictors ...bp.Predictor) []*sim.Result
+
+	// simTimeline is simRun's counterpart for the training-time exhibit;
+	// it defaults to sim.RunTimeline (same fast-path dispatch), and the
+	// differential tests swap in a kernel-stripping wrapper.
+	simTimeline func(tr *trace.Trace, bucket int, predictors ...bp.Predictor) []*sim.Timeline
 }
 
 // NewSuite generates traces for the configured workloads and returns a
@@ -179,6 +189,8 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 	s.oracleBuild = func(tr *trace.Trace, ocfg core.OracleConfig) *core.Selections {
 		return core.BuildSelectivePacked(s.packedFor(tr), ocfg)
 	}
+	s.simRun = sim.Run
+	s.simTimeline = sim.RunTimeline
 	for _, name := range cfg.Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -213,14 +225,13 @@ func (s *Suite) newPAs() bp.Predictor {
 	return bp.NewPAs(s.cfg.PAsHistBits, s.cfg.PAsBHTBits, s.cfg.PAsPHTBits)
 }
 
-// packedFor builds (once) the columnar view of a trace; every oracle
-// pass over the trace shares the same Packed, so interning and bitset
-// construction are paid once per trace, not once per window length.
+// packedFor returns the trace's memoized columnar view. The memo lives
+// on the trace itself (trace.Trace.Packed), so every oracle pass and
+// every sim fast-path run over the trace — inside or outside the suite —
+// shares one Packed: interning and bitset construction are paid once per
+// trace, not once per consumer.
 func (s *Suite) packedFor(tr *trace.Trace) *trace.Packed {
-	return s.packed.get(tr.Name(), func() *trace.Packed {
-		s.log("%s: packing columnar trace view", tr.Name())
-		return trace.Pack(tr)
-	})
+	return tr.Packed()
 }
 
 // globalFor computes (once) the selective/IF-gshare/gshare results for a
@@ -230,16 +241,19 @@ func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
 	return s.global.get(tr.Name(), func() *globalBundle {
 		s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
 		sels := s.oracleBuild(tr, s.cfg.Oracle)
-		preds := []bp.Predictor{
+		selective := []bp.Predictor{
 			core.NewSelective(fmt.Sprintf("IF 1-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[1]),
 			core.NewSelective(fmt.Sprintf("IF 2-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[2]),
 			core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[3]),
-			s.newIFGshare(),
-			s.newGshare(),
 		}
 		s.log("%s: simulating selective + gshare predictors", tr.Name())
-		rs := sim.Run(tr, preds...)
-		b := &globalBundle{ifg: rs[3], g: rs[4], sels: sels}
+		// Two batches: the selective predictors have no batched kernels,
+		// while (IF-)gshare do — batching them separately lets the second
+		// call take sim's columnar fast path. Predictors are independent,
+		// so the split leaves every Result bit-identical.
+		rs := s.simRun(tr, selective...)
+		gs := s.simRun(tr, s.newIFGshare(), s.newGshare())
+		b := &globalBundle{ifg: gs[0], g: gs[1], sels: sels}
 		b.sel[1], b.sel[2], b.sel[3] = rs[0], rs[1], rs[2]
 		return b
 	})
@@ -258,7 +272,7 @@ func (s *Suite) baseFor(tr *trace.Trace) *baseBundle {
 	return s.base.get(tr.Name(), func() *baseBundle {
 		s.log("%s: baseline predictors (static, gshare, PAs)", tr.Name())
 		stats := trace.Summarize(tr)
-		rs := sim.Run(tr, bp.NewIdealStatic(stats), s.newGshare(), s.newPAs())
+		rs := s.simRun(tr, bp.NewIdealStatic(stats), s.newGshare(), s.newPAs())
 		return &baseBundle{static: rs[0], gshare: rs[1], pas: rs[2]}
 	})
 }

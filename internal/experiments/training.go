@@ -55,7 +55,7 @@ func (s *Suite) trainingBucket() int {
 // trainingCell measures one benchmark's cold-start vs steady state.
 func (s *Suite) trainingCell(tr *trace.Trace) TrainingRow {
 	s.log("%s: training timelines", tr.Name())
-	tls := sim.RunTimeline(tr, s.trainingBucket(),
+	tls := s.simTimeline(tr, s.trainingBucket(),
 		s.newGshare(), s.newIFGshare(), bp.NewBimodal(14))
 	row := TrainingRow{Benchmark: tr.Name()}
 	row.ColdGshare, row.WarmGshare = coldWarm(tls[0])

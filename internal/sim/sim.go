@@ -4,13 +4,32 @@
 // and 4.2.2 is a per-static-branch combination of two real predictors'
 // accuracies, and the classifications of section 5 compare per-branch
 // correct counts across predictors.
+//
+// The package has two execution engines with pinned-identical results:
+//
+//   - the reference loop (RunReference) — one Predict/Update interface
+//     call pair and one per-address map update per dynamic branch — which
+//     is the executable specification;
+//   - the columnar fast path, taken transparently by Run, RunConcurrent,
+//     and RunTimeline when every predictor implements bp.KernelPredictor:
+//     the trace's memoized Packed view (dense int32 branch IDs + taken
+//     bitset) streams through each predictor's batched SimulateBlock
+//     kernel, and per-branch correct counts accumulate in a flat slice
+//     indexed by dense ID instead of a pointer map.
+//
+// Differential tests (kernel_test.go, differential_test.go, and the
+// experiments package's report byte-identity test) prove the two engines
+// bit-identical: same totals, same per-branch accounts, same report
+// bytes.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"branchcorr/internal/bp"
+	"branchcorr/internal/runner"
 	"branchcorr/internal/trace"
 )
 
@@ -88,10 +107,97 @@ func (r *Result) record(pc trace.Addr, correct bool) {
 	}
 }
 
-// Run drives every predictor over the trace in a single pass (each
-// predictor sees the identical committed branch stream) and returns one
-// Result per predictor, in argument order.
+// kernelsOf returns the batched-kernel view of every predictor, or
+// ok=false if any predictor lacks one (or the list is empty), in which
+// case callers must use the reference loop.
+func kernelsOf(predictors []bp.Predictor) ([]bp.KernelPredictor, bool) {
+	if len(predictors) == 0 {
+		return nil, false
+	}
+	ks := make([]bp.KernelPredictor, len(predictors))
+	for i, p := range predictors {
+		k, ok := p.(bp.KernelPredictor)
+		if !ok {
+			return nil, false
+		}
+		ks[i] = k
+	}
+	return ks, true
+}
+
+// fullBlock builds the kernel input covering the whole packed trace.
+func fullBlock(pt *trace.Packed) bp.KernelBlock {
+	return bp.KernelBlock{
+		IDs:   pt.IDs(),
+		Taken: pt.TakenWords(),
+		Back:  pt.BackwardWords(),
+		Addrs: pt.Addrs(),
+		Lo:    0,
+		Hi:    pt.Len(),
+	}
+}
+
+// resultFromCounts converts the fast path's flat per-ID accounting into
+// the map-shaped Result the rest of the repo consumes. Every dense ID
+// occurs at least once in the trace, so the map's key set is exactly the
+// reference loop's.
+func resultFromCounts(name string, pt *trace.Packed, correct []int32, total int) *Result {
+	r := newResult(name, pt.Name())
+	addrs, counts := pt.Addrs(), pt.Counts()
+	for id := range addrs {
+		r.PerBranch[addrs[id]] = &BranchAcc{Correct: int(correct[id]), Total: int(counts[id])}
+	}
+	r.Correct = total
+	r.Total = pt.Len()
+	return r
+}
+
+// runPackedOne drives one kernel predictor over the trace's memoized
+// columnar view: per-branch correct counts accumulate in a flat slice
+// indexed by dense branch ID, with no interface call or map lookup per
+// record.
+func runPackedOne(t *trace.Trace, k bp.KernelPredictor) *Result {
+	pt := t.Packed()
+	correct := make([]int32, pt.NumBranches())
+	total := k.SimulateBlock(fullBlock(pt), correct)
+	return resultFromCounts(k.Name(), pt, correct, total)
+}
+
+// runReferenceOne drives one predictor through the per-record reference
+// loop.
+func runReferenceOne(t *trace.Trace, p bp.Predictor) *Result {
+	res := newResult(p.Name(), t.Name())
+	for _, rec := range t.Records() {
+		correct := p.Predict(rec) == rec.Taken
+		p.Update(rec)
+		res.record(rec.PC, correct)
+	}
+	return res
+}
+
+// Run drives every predictor over the trace (each predictor sees the
+// identical committed branch stream) and returns one Result per
+// predictor, in argument order. When every predictor implements
+// bp.KernelPredictor, Run takes the columnar fast path over the trace's
+// memoized Packed view; otherwise it falls back to RunReference.
+// Predictors are mutually independent, so the two paths — and any
+// per-predictor scheduling — produce bit-identical Results.
 func Run(t *trace.Trace, predictors ...bp.Predictor) []*Result {
+	if ks, ok := kernelsOf(predictors); ok {
+		results := make([]*Result, len(ks))
+		for i, k := range ks {
+			results[i] = runPackedOne(t, k)
+		}
+		return results
+	}
+	return RunReference(t, predictors...)
+}
+
+// RunReference is the executable specification of Run: a single
+// interleaved pass calling Predict/Update per record per predictor, with
+// map-based per-branch accounting. The columnar fast path is pinned
+// bit-identical to it by the package's differential tests.
+func RunReference(t *trace.Trace, predictors ...bp.Predictor) []*Result {
 	results := make([]*Result, len(predictors))
 	for i, p := range predictors {
 		results[i] = newResult(p.Name(), t.Name())
@@ -121,16 +227,35 @@ type Timeline struct {
 }
 
 // RunTimeline drives the predictors over the trace, recording accuracy
-// per bucket of bucketSize dynamic branches.
+// per bucket of bucketSize dynamic branches. Like Run, it takes the
+// columnar fast path when every predictor implements bp.KernelPredictor,
+// replaying one packed block per bucket; bucket accuracies are
+// bit-identical to the reference loop's.
 func RunTimeline(t *trace.Trace, bucketSize int, predictors ...bp.Predictor) []*Timeline {
 	if bucketSize <= 0 {
 		panic("sim: bucket size must be positive")
 	}
 	out := make([]*Timeline, len(predictors))
-	correct := make([]int, len(predictors))
 	for i, p := range predictors {
 		out[i] = &Timeline{Predictor: p.Name(), Bucket: bucketSize}
 	}
+	if ks, ok := kernelsOf(predictors); ok {
+		pt := t.Packed()
+		blk := fullBlock(pt)
+		// One scratch count slice serves every bucket: the timeline only
+		// needs each block's total, and kernels only ever increment.
+		scratch := make([]int32, pt.NumBranches())
+		for i, k := range ks {
+			for lo := 0; lo < pt.Len(); lo += bucketSize {
+				hi := min(lo+bucketSize, pt.Len())
+				blk.Lo, blk.Hi = lo, hi
+				c := k.SimulateBlock(blk, scratch)
+				out[i].Accuracy = append(out[i].Accuracy, float64(c)/float64(hi-lo))
+			}
+		}
+		return out
+	}
+	correct := make([]int, len(predictors))
 	n := 0
 	flush := func(size int) {
 		if size == 0 {
@@ -179,27 +304,35 @@ func RunStream(sc *trace.Scanner, predictors ...bp.Predictor) ([]*Result, error)
 	return results, nil
 }
 
-// RunConcurrent behaves exactly like Run but drives each predictor in
-// its own goroutine (predictors are independent, the trace is read-only).
-// Results are identical to Run's; use it when simulating several
+// RunConcurrent behaves exactly like Run but fans the predictors out
+// across the runner worker pool, one cell per predictor (predictors are
+// independent, the trace is read-only). Each cell takes the same
+// per-predictor path Run would — columnar kernel or reference loop — so
+// Results are bit-identical to Run's; use it when simulating several
 // expensive predictors over a long trace.
 func RunConcurrent(t *trace.Trace, predictors ...bp.Predictor) []*Result {
 	results := make([]*Result, len(predictors))
-	done := make(chan int, len(predictors))
+	cells := make([]runner.Cell, len(predictors))
 	for i, p := range predictors {
-		go func(i int, p bp.Predictor) {
-			res := newResult(p.Name(), t.Name())
-			for _, rec := range t.Records() {
-				correct := p.Predict(rec) == rec.Taken
-				p.Update(rec)
-				res.record(rec.PC, correct)
-			}
-			results[i] = res
-			done <- i
-		}(i, p)
+		i, p := i, p
+		cells[i] = runner.Cell{
+			Exhibit:  "sim",
+			Workload: p.Name(),
+			Run: func(context.Context) error {
+				if k, ok := p.(bp.KernelPredictor); ok {
+					results[i] = runPackedOne(t, k)
+				} else {
+					results[i] = runReferenceOne(t, p)
+				}
+				return nil
+			},
+		}
 	}
-	for range predictors {
-		<-done
+	err := runner.Run(context.Background(), cells, runner.Options{Parallel: len(cells)})
+	if err != nil {
+		// Unreachable: cells never fail and the context is never
+		// cancelled; a scheduler error here is a bug, not a condition.
+		panic("sim: RunConcurrent scheduler failed: " + err.Error())
 	}
 	return results
 }
@@ -246,8 +379,12 @@ func CombineSelect(name string, a, b *Result, useA func(trace.Addr) bool) *Resul
 // accuracy difference a−b (in percentage points), expanded over dynamic
 // executions and sorted ascending; it returns the difference at each
 // requested percentile of dynamic branches (percentiles in [0,100]).
+// Branches with equal differences order by PC, so the curve is
+// deterministic regardless of map iteration order, and all percentiles
+// are answered in a single cumulative sweep over the sorted differences.
 func DiffPercentiles(a, b *Result, percentiles []float64) []float64 {
 	type branchDiff struct {
+		pc     trace.Addr
 		diff   float64
 		weight int
 	}
@@ -256,26 +393,45 @@ func DiffPercentiles(a, b *Result, percentiles []float64) []float64 {
 	for pc, ba := range a.PerBranch {
 		bb := b.Branch(pc)
 		d := 100 * (ba.Accuracy() - bb.Accuracy())
-		diffs = append(diffs, branchDiff{diff: d, weight: ba.Total})
+		diffs = append(diffs, branchDiff{pc: pc, diff: d, weight: ba.Total})
 		totalWeight += ba.Total
 	}
-	sort.Slice(diffs, func(i, j int) bool { return diffs[i].diff < diffs[j].diff })
+	sort.Slice(diffs, func(i, j int) bool {
+		if diffs[i].diff != diffs[j].diff {
+			return diffs[i].diff < diffs[j].diff
+		}
+		return diffs[i].pc < diffs[j].pc
+	})
 	out := make([]float64, len(percentiles))
 	if totalWeight == 0 {
 		return out
 	}
-	for i, p := range percentiles {
-		target := p / 100 * float64(totalWeight)
-		cum := 0
-		val := diffs[len(diffs)-1].diff
-		for _, d := range diffs {
-			cum += d.weight
-			if float64(cum) >= target {
-				val = d.diff
-				break
-			}
+	// Percentiles whose cumulative-weight target is never reached (only
+	// possible above 100) report the largest difference.
+	for i := range out {
+		out[i] = diffs[len(diffs)-1].diff
+	}
+	// Answer the percentiles smallest-target-first while sweeping the
+	// sorted differences once: each percentile resolves at the first
+	// branch whose cumulative dynamic weight reaches its target.
+	order := make([]int, len(percentiles))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return percentiles[order[i]] < percentiles[order[j]]
+	})
+	cum, next := 0, 0
+	for _, d := range diffs {
+		cum += d.weight
+		for next < len(order) &&
+			percentiles[order[next]]/100*float64(totalWeight) <= float64(cum) {
+			out[order[next]] = d.diff
+			next++
 		}
-		out[i] = val
+		if next == len(order) {
+			break
+		}
 	}
 	return out
 }

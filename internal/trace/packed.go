@@ -18,9 +18,10 @@ type Packed struct {
 	name  string
 	ids   []int32 // dense branch ID per dynamic record
 	addrs []Addr  // ID -> static branch address, first-appearance order
-	idOf  map[Addr]int32
-	taken []uint64 // bit i = record i resolved taken
-	back  []uint64 // bit i = record i is a backward (loop-closing) branch
+	idOf   map[Addr]int32
+	counts []int32  // ID -> number of dynamic records (occurrences)
+	taken  []uint64 // bit i = record i resolved taken
+	back   []uint64 // bit i = record i is a backward (loop-closing) branch
 }
 
 // Pack builds the columnar view of t in one linear pass. Dense IDs are
@@ -42,8 +43,10 @@ func Pack(t *Trace) *Packed {
 			id = int32(len(p.addrs))
 			p.idOf[r.PC] = id
 			p.addrs = append(p.addrs, r.PC)
+			p.counts = append(p.counts, 0)
 		}
 		p.ids[i] = id
+		p.counts[id]++
 		if r.Taken {
 			p.taken[i>>6] |= 1 << (uint(i) & 63)
 		}
@@ -83,6 +86,20 @@ func (p *Packed) IDOf(a Addr) (int32, bool) {
 	id, ok := p.idOf[a]
 	return id, ok
 }
+
+// Counts exposes the per-ID dynamic occurrence counts (Counts()[id] =
+// number of records of branch id) for read-only iteration. Callers must
+// not modify it.
+func (p *Packed) Counts() []int32 { return p.counts }
+
+// TakenWords exposes the raw taken bitset (bit i of word i/64 = record
+// i resolved taken) for read-only iteration by batched kernels. Callers
+// must not modify it.
+func (p *Packed) TakenWords() []uint64 { return p.taken }
+
+// BackwardWords exposes the raw backward-branch bitset for read-only
+// iteration by batched kernels. Callers must not modify it.
+func (p *Packed) BackwardWords() []uint64 { return p.back }
 
 // Taken reports record i's resolved direction.
 func (p *Packed) Taken(i int) bool {

@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func packTestTrace() *Trace {
 	tr := New("packed", 0)
@@ -82,5 +85,70 @@ func TestPackEmptyTrace(t *testing.T) {
 	p := Pack(New("empty", 0))
 	if p.Len() != 0 || p.NumBranches() != 0 {
 		t.Errorf("empty pack: len=%d branches=%d", p.Len(), p.NumBranches())
+	}
+}
+
+func TestPackCounts(t *testing.T) {
+	p := Pack(packTestTrace())
+	want := []int32{2, 2, 1} // 0x400 ×2, 0x404 ×2, 0x408 ×1, in ID order
+	counts := p.Counts()
+	if len(counts) != len(want) {
+		t.Fatalf("Counts len = %d, want %d", len(counts), len(want))
+	}
+	sum := int32(0)
+	for id, w := range want {
+		if counts[id] != w {
+			t.Errorf("Counts[%d] = %d, want %d", id, counts[id], w)
+		}
+		sum += counts[id]
+	}
+	if int(sum) != p.Len() {
+		t.Errorf("Counts sum to %d, want trace length %d", sum, p.Len())
+	}
+}
+
+// TestTracePackedMemoized pins the memoized columnar view on Trace: the
+// same pointer comes back while the trace is unchanged, and appending
+// invalidates it so the next call re-packs with the new records.
+func TestTracePackedMemoized(t *testing.T) {
+	tr := packTestTrace()
+	p1 := tr.Packed()
+	if p1.Len() != tr.Len() {
+		t.Fatalf("Packed().Len = %d, want %d", p1.Len(), tr.Len())
+	}
+	if p2 := tr.Packed(); p2 != p1 {
+		t.Error("Packed() on an unchanged trace rebuilt the view")
+	}
+	tr.Append(Record{PC: 0x40c, Taken: true})
+	p3 := tr.Packed()
+	if p3 == p1 {
+		t.Fatal("Packed() after Append returned the stale view")
+	}
+	if p3.Len() != tr.Len() {
+		t.Errorf("re-packed Len = %d, want %d", p3.Len(), tr.Len())
+	}
+	if id, ok := p3.IDOf(0x40c); !ok || p3.AddrOf(id) != 0x40c {
+		t.Error("re-packed view is missing the appended branch")
+	}
+}
+
+// TestTracePackedConcurrent hammers Packed() from many goroutines;
+// under -race this pins the mutex protecting the memo.
+func TestTracePackedConcurrent(t *testing.T) {
+	tr := packTestTrace()
+	var wg sync.WaitGroup
+	views := make([]*Packed, 16)
+	for g := range views {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			views[g] = tr.Packed()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(views); g++ {
+		if views[g] != views[0] {
+			t.Fatalf("goroutine %d saw a different packed view", g)
+		}
 	}
 }

@@ -9,7 +9,10 @@
 // (ISCA 1998), section 3.5.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Addr identifies a static branch site. It plays the role of the branch
 // instruction's address in a real trace; synthetic workloads allocate
@@ -46,6 +49,10 @@ func (r Record) String() string {
 type Trace struct {
 	name    string
 	records []Record
+
+	// packMu guards packed, the memoized columnar view (see Packed).
+	packMu sync.Mutex
+	packed *Packed
 }
 
 // New returns an empty trace with the given name (typically the workload
@@ -75,6 +82,22 @@ func (t *Trace) Records() []Record { return t.records }
 
 // Append adds a record to the trace.
 func (t *Trace) Append(r Record) { t.records = append(t.records, r) }
+
+// Packed returns the memoized columnar view of the trace, building it on
+// the first call. Every consumer of the trace — the oracle kernels and
+// the sim fast path — shares one view, so interning and bitset
+// construction are paid once per trace. Safe for concurrent callers.
+// Appending after the view is built invalidates it: the next Packed call
+// re-packs (detected by length), but mutating a trace mid-analysis is
+// not supported.
+func (t *Trace) Packed() *Packed {
+	t.packMu.Lock()
+	defer t.packMu.Unlock()
+	if t.packed == nil || t.packed.Len() != len(t.records) {
+		t.packed = Pack(t)
+	}
+	return t.packed
+}
 
 // Slice returns a sub-trace view covering records [lo, hi).
 func (t *Trace) Slice(lo, hi int) *Trace {
