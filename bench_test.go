@@ -86,8 +86,8 @@ func benchParallelConfig() experiments.Config {
 // the suite's wall-clock speedup). Each iteration builds a fresh suite
 // outside the timer so the memoized per-trace artifacts are recomputed —
 // the benchmark measures the report, not the cache. Per-cell wall time
-// is injected via the runner's Wrap hook and reported as custom metrics;
-// the runner itself never reads the clock (bplint det-time).
+// is injected via the runner's Observer hook and reported as custom
+// metrics; the runner itself never reads the clock (bplint det-time).
 func BenchmarkParallelReport(b *testing.B) {
 	levels := []int{1, runtime.GOMAXPROCS(0)}
 	if levels[1] == 1 {
@@ -96,10 +96,9 @@ func BenchmarkParallelReport(b *testing.B) {
 	for _, par := range levels {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			var cellNanos, cellCount, maxCellNanos atomic.Int64
-			wrap := func(c runner.Cell, run runner.RunFunc) runner.RunFunc {
-				return func(ctx context.Context) error {
-					start := time.Now()
-					err := run(ctx)
+			observe := func(runner.Cell) func(error) {
+				start := time.Now()
+				return func(error) {
 					d := time.Since(start).Nanoseconds()
 					cellNanos.Add(d)
 					cellCount.Add(1)
@@ -109,7 +108,6 @@ func BenchmarkParallelReport(b *testing.B) {
 							break
 						}
 					}
-					return err
 				}
 			}
 			for i := 0; i < b.N; i++ {
@@ -119,7 +117,7 @@ func BenchmarkParallelReport(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: par, Wrap: wrap}); err != nil {
+				if _, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: par, Observer: observe}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -711,7 +709,7 @@ func BenchmarkSimPredictor(b *testing.B) {
 			tr.Packed() // memoized columnar view built outside the timer
 			stats := trace.Summarize(tr)
 			mk := func() bp.Predictor {
-				p, err := bp.Parse(spec, stats)
+				p, err := bp.Parse(spec, bp.Env{Stats: stats})
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -5,6 +5,7 @@
 //
 //	bpsim -trace gcc.btr -p gshare:16 -p pas:12,10,6
 //	bpsim -workload go -n 500000 -p 'hybrid:(gshare:14),(pas:12,10,6),12' -per-branch
+//	bpsim -workload gcc -metrics out.json   # engine metrics snapshot at exit
 //	bpsim -specs     # list example predictor specs
 package main
 
@@ -16,6 +17,7 @@ import (
 	"sort"
 
 	"branchcorr/internal/bp"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/trace"
 	"branchcorr/internal/workloads"
@@ -40,11 +42,35 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream the trace file record-by-record (constant memory; -trace only)")
 		top       = flag.Int("top", 20, "per-branch rows to print")
 		listSpecs = flag.Bool("specs", false, "list example predictor specs and exit")
+		metrics   = flag.String("metrics", "", "write the obs metrics snapshot (JSON) to this file at exit")
+		debugAddr = flag.String("debug-addr", "", "serve expvar, pprof, and /metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Var(&specs, "p", "predictor spec (repeatable; see -specs)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatal(fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0)))
+	}
+
+	// Same observability arrangement as cmd/experiments: the process-wide
+	// registry gets the wall clock (live runs only — library code never
+	// reads time), so span histograms carry real durations while counters
+	// stay deterministic.
+	reg := obs.Default()
+	reg.SetClock(obs.SystemClock)
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bpsim: debug server on http://%s/ (expvar, pprof, /metrics)\n", ds.Addr())
+		defer ds.Close()
+	}
+	if *metrics != "" {
+		defer func() {
+			if err := reg.WriteFile(*metrics); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	if *listSpecs {
@@ -64,14 +90,10 @@ func main() {
 			fatal(fmt.Errorf("-stream requires -trace FILE"))
 		}
 		// Streaming mode cannot profile first, so ideal-static is
-		// unavailable; predictors parse with nil stats.
-		predictors := make([]bp.Predictor, len(specs))
-		for i, s := range specs {
-			p, err := bp.Parse(s, nil)
-			if err != nil {
-				fatal(err)
-			}
-			predictors[i] = p
+		// unavailable; predictors parse with an empty Env.
+		predictors, err := bp.ParseAll(specs, bp.Env{})
+		if err != nil {
+			fatal(err)
 		}
 		f, err := os.Open(*tracePath)
 		if err != nil {
@@ -82,10 +104,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		results, err = sim.RunStream(sc, predictors...)
+		var out *sim.Outcome
+		out, err = sim.SimulateScanner(sc, predictors, sim.Options{Observer: reg})
 		if err != nil {
 			fatal(err)
 		}
+		results = out.Results
 		header = fmt.Sprintf("trace %s (streamed): %d dynamic branches", sc.Name(), results[0].Total)
 	} else {
 		tr, err := loadTrace(*tracePath, *workload, *n)
@@ -93,16 +117,11 @@ func main() {
 			fatal(err)
 		}
 		stats := trace.Summarize(tr)
-		env := bp.Env{Stats: stats, Trace: tr}
-		predictors := make([]bp.Predictor, len(specs))
-		for i, s := range specs {
-			p, err := bp.ParseEnv(s, env)
-			if err != nil {
-				fatal(err)
-			}
-			predictors[i] = p
+		predictors, err := bp.ParseAll(specs, bp.Env{Stats: stats, Trace: tr})
+		if err != nil {
+			fatal(err)
 		}
-		results = sim.Run(tr, predictors...)
+		results = sim.Simulate(tr, predictors, sim.Options{Observer: reg}).Results
 		header = fmt.Sprintf("trace %s: %d dynamic branches, %d static sites",
 			tr.Name(), stats.Dynamic, stats.Static)
 	}

@@ -11,6 +11,9 @@
 //	experiments -n 200000 -exhibits fig4,table2
 //	experiments -workloads gcc,go -n 2000000
 //	experiments -parallel 1             # sequential execution
+//	experiments -p gshare:14 -p tage    # extra exhibit with custom predictors
+//	experiments -metrics out.json       # write the metrics snapshot at exit
+//	experiments -debug-addr :6060       # live expvar + pprof + /metrics
 //	experiments -cpuprofile cpu.pb.gz   # profile the run (go tool pprof)
 package main
 
@@ -24,36 +27,66 @@ import (
 	"strings"
 
 	"branchcorr/internal/experiments"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/runner"
 )
 
+// specList collects repeated -p flags.
+type specList []string
+
+func (s *specList) String() string { return fmt.Sprint(*s) }
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// options carries the parsed flags into run.
+type options struct {
+	n          int
+	wls        string
+	exhibits   string
+	parallel   int
+	quiet      bool
+	asJSON     bool
+	cpuprofile string
+	memprofile string
+	metrics    string
+	debugAddr  string
+	specs      []string
+}
+
 func main() {
-	var (
-		n          = flag.Int("n", 1_000_000, "dynamic branches per workload trace")
-		wls        = flag.String("workloads", "", "comma-separated workload subset (default all)")
-		exhibits   = flag.String("exhibits", "all", "comma-separated exhibits: "+strings.Join(experiments.ExhibitOrder(), ","))
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for report cells (output is identical at any value)")
-		quiet      = flag.Bool("q", false, "suppress progress logging")
-		asJSON     = flag.Bool("json", false, "emit one JSON report instead of rendered text")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
-	)
+	var specs specList
+	var o options
+	flag.IntVar(&o.n, "n", 1_000_000, "dynamic branches per workload trace")
+	flag.StringVar(&o.wls, "workloads", "", "comma-separated workload subset (default all)")
+	flag.StringVar(&o.exhibits, "exhibits", "all", "comma-separated exhibits: "+strings.Join(experiments.ExhibitOrder(), ","))
+	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for report cells (output is identical at any value)")
+	flag.BoolVar(&o.quiet, "q", false, "suppress progress logging")
+	flag.BoolVar(&o.asJSON, "json", false, "emit one JSON report instead of rendered text")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file at exit")
+	flag.StringVar(&o.metrics, "metrics", "", "write the obs metrics snapshot (JSON) to this file at exit")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar, pprof, and /metrics on this address (e.g. localhost:6060)")
+	flag.Var(&specs, "p", "extra predictor spec to evaluate across all workloads (repeatable; see bpsim -specs)")
 	flag.Parse()
-	if err := run(*n, *wls, *exhibits, *parallel, *quiet, *asJSON, *cpuprofile, *memprofile); err != nil {
+	o.specs = specs
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
 // run is the whole program behind the flag parse; returning instead of
-// exiting lets the profile writers run (and flush) on every path.
-func run(n int, wls, exhibits string, parallel int, quiet, asJSON bool, cpuprofile, memprofile string) (err error) {
+// exiting lets the profile and metrics writers run (and flush) on every
+// path.
+func run(o options) (err error) {
 	if flag.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (all options are flags)", flag.Arg(0))
 	}
 
-	if cpuprofile != "" {
-		f, ferr := os.Create(cpuprofile)
+	if o.cpuprofile != "" {
+		f, ferr := os.Create(o.cpuprofile)
 		if ferr != nil {
 			return ferr
 		}
@@ -68,24 +101,50 @@ func run(n int, wls, exhibits string, parallel int, quiet, asJSON bool, cpuprofi
 			}
 		}()
 	}
-	if memprofile != "" {
+	if o.memprofile != "" {
 		defer func() {
 			if err != nil {
 				return
 			}
-			err = writeMemProfile(memprofile)
+			err = writeMemProfile(o.memprofile)
 		}()
 	}
 
-	cfg := experiments.Config{Length: n}
-	if wls != "" {
-		cfg.Workloads = strings.Split(wls, ",")
+	// Metrics run process-wide through the default registry. The wall
+	// clock feeds span histograms only in live command runs like this
+	// one — library code never reads it (bplint det-time) — so counters
+	// stay deterministic while durations reflect this run.
+	reg := obs.Default()
+	reg.SetClock(obs.SystemClock)
+	if o.debugAddr != "" {
+		ds, derr := obs.ServeDebug(o.debugAddr, reg)
+		if derr != nil {
+			return derr
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug server on http://%s/ (expvar, pprof, /metrics)\n", ds.Addr())
+		defer func() {
+			if cerr := ds.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if o.metrics != "" {
+		defer func() {
+			if werr := reg.WriteFile(o.metrics); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
+	cfg := experiments.Config{Length: o.n, ExtraSpecs: o.specs}
+	if o.wls != "" {
+		cfg.Workloads = strings.Split(o.wls, ",")
 	}
 	// Progress goes to stderr without timestamps: the report itself must be
 	// byte-identical across runs, and wall-clock reads are banned
 	// module-wide by bplint's det-time rule.
 	logf := func(format string, args ...any) {
-		if !quiet {
+		if !o.quiet {
 			fmt.Fprintf(os.Stderr, "experiments: %s\n", fmt.Sprintf(format, args...))
 		}
 	}
@@ -95,12 +154,12 @@ func run(n int, wls, exhibits string, parallel int, quiet, asJSON bool, cpuprofi
 	}
 	cfg = suite.Config() // pick up the suite's defaults (fig9 benchmarks etc.)
 
-	want, err := wantExhibits(exhibits)
+	want, err := wantExhibits(o.exhibits)
 	if err != nil {
 		return err
 	}
 	// fig9 needs gcc and perl unless overridden alongside -workloads.
-	if want["fig9"] && wls != "" && !suite.Fig9Available() {
+	if want["fig9"] && o.wls != "" && !suite.Fig9Available() {
 		fmt.Fprintf(os.Stderr, "experiments: skipping fig9 (needs %s in -workloads)\n",
 			strings.Join(cfg.Fig9Benchmarks, " and "))
 		delete(want, "fig9")
@@ -112,11 +171,11 @@ func run(n int, wls, exhibits string, parallel int, quiet, asJSON bool, cpuprofi
 		}
 	}
 
-	report, err := suite.BuildReport(context.Background(), names, runner.Options{Parallel: parallel})
+	report, err := suite.BuildReport(context.Background(), names, runner.Options{Parallel: o.parallel})
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	if o.asJSON {
 		return report.WriteJSON(os.Stdout)
 	}
 	for _, e := range names {

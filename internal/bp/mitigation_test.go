@@ -255,7 +255,7 @@ func TestParseMitigationSpecs(t *testing.T) {
 		"perceptron:24,10":       "perceptron(24,10)",
 		"tournament:10,10,12,12": "tournament(12)",
 	} {
-		p, err := Parse(spec, nil)
+		p, err := Parse(spec, Env{})
 		if err != nil {
 			t.Errorf("Parse(%q): %v", spec, err)
 			continue

@@ -8,11 +8,81 @@ import (
 	"branchcorr/internal/trace"
 )
 
-// Parse builds a predictor from a textual spec, the format the bpsim CLI
-// accepts:
+// ErrKind classifies a spec parse failure, so callers can distinguish a
+// typo in the predictor name from a malformed parameter or a spec whose
+// profiling context is missing.
+type ErrKind int
+
+const (
+	// ErrUnknownName: the spec names no known predictor.
+	ErrUnknownName ErrKind = iota
+	// ErrBadParam: a parameter is missing, extra, or malformed.
+	ErrBadParam
+	// ErrMissingContext: the spec is valid but needs profiling context
+	// (stats or the full trace) the Env does not carry.
+	ErrMissingContext
+)
+
+// String names the kind for diagnostics and tests.
+func (k ErrKind) String() string {
+	switch k {
+	case ErrUnknownName:
+		return "unknown-name"
+	case ErrBadParam:
+		return "bad-param"
+	case ErrMissingContext:
+		return "missing-context"
+	}
+	return fmt.Sprintf("ErrKind(%d)", int(k))
+}
+
+// ParseError is the structured error Parse returns: the full spec as
+// given, the offending token, and the failure kind. Both commands print
+// parse failures through its Error method, so bpsim and experiments emit
+// identical diagnostics for the same bad spec.
+type ParseError struct {
+	// Spec is the spec string being parsed (for hybrids, the innermost
+	// failing sub-spec).
+	Spec string
+	// Token is the offending token: the unknown name, or the bad
+	// parameter text.
+	Token string
+	// Kind classifies the failure.
+	Kind ErrKind
+	// Reason is the human-readable detail.
+	Reason string
+}
+
+// Error renders the canonical one-line diagnostic.
+func (e *ParseError) Error() string {
+	switch e.Kind {
+	case ErrUnknownName:
+		return fmt.Sprintf("bp: spec %q: unknown predictor %q (see bpsim -specs for examples)", e.Spec, e.Token)
+	case ErrBadParam:
+		return fmt.Sprintf("bp: spec %q: bad parameter %q: %s", e.Spec, e.Token, e.Reason)
+	default:
+		return fmt.Sprintf("bp: spec %q: %s", e.Spec, e.Reason)
+	}
+}
+
+// Env carries the profiling context specs may require: summary
+// statistics for ideal-static, the full trace for statically-filled
+// (profiled) predictors. Either field may be nil; specs needing an
+// absent field fail with ErrMissingContext.
+type Env struct {
+	Stats *trace.Stats
+	Trace *trace.Trace
+}
+
+// Parse builds a predictor from a textual spec — the single entry point
+// behind the bpsim -p and experiments -p flags — with whatever profiling
+// context the caller has in env (Env{} is fine for specs that need
+// none). Failures are *ParseError values naming the offending token.
+//
+// The grammar:
 //
 //	taken | not-taken | btfnt
-//	ideal-static                     (requires profiling stats)
+//	ideal-static                     (requires Env.Stats)
 //	bimodal:TABLEBITS
 //	gshare:HISTBITS
 //	ifgshare:HISTBITS
@@ -29,40 +99,25 @@ import (
 //	perceptron:HISTLEN,TABLEBITS
 //	tournament:LOCALHIST,LOCALBHT,GLOBALHIST,CHOOSERBITS
 //	tage
-//	profiled-gshare:HISTBITS         (requires a profiling trace)
+//	profiled-gshare:HISTBITS         (requires Env.Trace)
 //	hybrid:(SPEC),(SPEC),CHOOSERBITS
-//
-// stats may be nil unless the spec needs profiling (ideal-static).
-// Specs needing the full trace (profiled-gshare) must go through
-// ParseEnv.
-func Parse(spec string, stats *trace.Stats) (Predictor, error) {
-	return ParseEnv(spec, Env{Stats: stats})
-}
-
-// Env carries the profiling context specs may require: summary
-// statistics for ideal-static, the full trace for statically-filled
-// (profiled) predictors. Either field may be nil; specs needing an
-// absent field fail with a descriptive error.
-type Env struct {
-	Stats *trace.Stats
-	Trace *trace.Trace
-}
-
-// ParseEnv builds a predictor from a textual spec with explicit
-// profiling context (see Parse for the grammar).
-func ParseEnv(spec string, env Env) (Predictor, error) {
+func Parse(spec string, env Env) (Predictor, error) {
 	name, args, _ := strings.Cut(spec, ":")
 	name = strings.TrimSpace(name)
+	badParam := func(token, format string, a ...any) error {
+		return &ParseError{Spec: spec, Token: token, Kind: ErrBadParam, Reason: fmt.Sprintf(format, a...)}
+	}
 	ints := func(want int) ([]uint, error) {
 		parts := strings.Split(args, ",")
 		if args == "" || len(parts) != want {
-			return nil, fmt.Errorf("bp: spec %q needs %d numeric argument(s)", spec, want)
+			return nil, badParam(args, "need %d comma-separated numeric argument(s), have %d", want, len(strings.FieldsFunc(args, func(r rune) bool { return r == ',' })))
 		}
 		out := make([]uint, want)
 		for i, p := range parts {
-			v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 8)
+			p = strings.TrimSpace(p)
+			v, err := strconv.ParseUint(p, 10, 8)
 			if err != nil {
-				return nil, fmt.Errorf("bp: spec %q: bad argument %q", spec, p)
+				return nil, badParam(p, "not an integer in [0,255]")
 			}
 			out[i] = uint(v)
 		}
@@ -77,7 +132,8 @@ func ParseEnv(spec string, env Env) (Predictor, error) {
 		return BTFNT{}, nil
 	case "ideal-static":
 		if env.Stats == nil {
-			return nil, fmt.Errorf("bp: ideal-static needs trace statistics")
+			return nil, &ParseError{Spec: spec, Token: name, Kind: ErrMissingContext,
+				Reason: "ideal-static needs trace statistics (profile the trace first)"}
 		}
 		return NewIdealStatic(env.Stats), nil
 	case "bimodal":
@@ -164,7 +220,7 @@ func ParseEnv(spec string, env Env) (Predictor, error) {
 		return NewPerceptron(int(a[0]), a[1]), nil
 	case "tage":
 		if args != "" {
-			return nil, fmt.Errorf("bp: tage takes no arguments (uses the default geometry)")
+			return nil, badParam(args, "tage takes no arguments (uses the default geometry)")
 		}
 		return NewTAGEDefault(), nil
 	case "profiled-gshare":
@@ -173,7 +229,8 @@ func ParseEnv(spec string, env Env) (Predictor, error) {
 			return nil, err
 		}
 		if env.Trace == nil {
-			return nil, fmt.Errorf("bp: profiled-gshare needs the full profiling trace (unavailable when streaming)")
+			return nil, &ParseError{Spec: spec, Token: name, Kind: ErrMissingContext,
+				Reason: "profiled-gshare needs the full profiling trace (unavailable when streaming)"}
 		}
 		return NewProfiledGshare(env.Trace, a[0]), nil
 	case "tournament":
@@ -183,49 +240,72 @@ func ParseEnv(spec string, env Env) (Predictor, error) {
 		}
 		return NewTournament(a[0], a[1], a[2], a[3]), nil
 	case "hybrid":
-		specA, specB, bits, err := splitHybrid(args)
-		if err != nil {
-			return nil, fmt.Errorf("bp: spec %q: %v", spec, err)
-		}
-		a, err := ParseEnv(specA, env)
+		specA, specB, bits, err := splitHybrid(spec, args)
 		if err != nil {
 			return nil, err
 		}
-		b, err := ParseEnv(specB, env)
+		a, err := Parse(specA, env)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Parse(specB, env)
 		if err != nil {
 			return nil, err
 		}
 		return NewHybrid(a, b, bits), nil
 	default:
-		return nil, fmt.Errorf("bp: unknown predictor %q (see Parse docs for the spec grammar)", name)
+		return nil, &ParseError{Spec: spec, Token: name, Kind: ErrUnknownName,
+			Reason: "no such predictor"}
 	}
 }
 
+// ParseEnv builds a predictor from a textual spec with explicit
+// profiling context.
+//
+// Deprecated: ParseEnv is the old name for Parse; call Parse directly.
+func ParseEnv(spec string, env Env) (Predictor, error) { return Parse(spec, env) }
+
+// ParseAll parses every spec in order, stopping at the first failure.
+// It is the shared helper behind the commands' repeatable -p flags.
+func ParseAll(specs []string, env Env) ([]Predictor, error) {
+	out := make([]Predictor, 0, len(specs))
+	for _, s := range specs {
+		p, err := Parse(s, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 // splitHybrid parses "(SPEC),(SPEC),BITS".
-func splitHybrid(args string) (string, string, uint, error) {
-	specA, rest, err := takeParen(args)
+func splitHybrid(spec, args string) (string, string, uint, error) {
+	specA, rest, err := takeParen(spec, args)
 	if err != nil {
 		return "", "", 0, err
 	}
 	rest = strings.TrimPrefix(rest, ",")
-	specB, rest, err := takeParen(rest)
+	specB, rest, err := takeParen(spec, rest)
 	if err != nil {
 		return "", "", 0, err
 	}
 	rest = strings.TrimPrefix(rest, ",")
 	bits, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 8)
 	if err != nil {
-		return "", "", 0, fmt.Errorf("bad chooser bits %q", rest)
+		return "", "", 0, &ParseError{Spec: spec, Token: rest, Kind: ErrBadParam,
+			Reason: "bad chooser bits: not an integer in [0,255]"}
 	}
 	return specA, specB, uint(bits), nil
 }
 
 // takeParen consumes a balanced "(...)" prefix and returns its contents
 // and the remainder.
-func takeParen(s string) (string, string, error) {
+func takeParen(spec, s string) (string, string, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "(") {
-		return "", "", fmt.Errorf("expected '(' at %q", s)
+		return "", "", &ParseError{Spec: spec, Token: s, Kind: ErrBadParam,
+			Reason: "hybrid sub-specs must be parenthesized: expected '('"}
 	}
 	depth := 0
 	for i, c := range s {
@@ -239,7 +319,8 @@ func takeParen(s string) (string, string, error) {
 			}
 		}
 	}
-	return "", "", fmt.Errorf("unbalanced parentheses in %q", s)
+	return "", "", &ParseError{Spec: spec, Token: s, Kind: ErrBadParam,
+		Reason: "unbalanced parentheses"}
 }
 
 // KnownSpecs lists example specs for help output.

@@ -1,6 +1,7 @@
 package bp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestParseValidSpecs(t *testing.T) {
 		"hybrid:(hybrid:(gshare:8),(loop),4),(btfnt),4": "hybrid(hybrid(gshare(8),loop,4),btfnt,4)",
 	}
 	for spec, wantName := range cases {
-		p, err := Parse(spec, stats)
+		p, err := Parse(spec, Env{Stats: stats})
 		if err != nil {
 			t.Errorf("Parse(%q): %v", spec, err)
 			continue
@@ -46,37 +47,89 @@ func TestParseEveryKnownSpec(t *testing.T) {
 	tr.Append(trace.Record{PC: 1, Taken: true})
 	env := Env{Stats: trace.Summarize(tr), Trace: tr}
 	for _, spec := range KnownSpecs() {
-		if _, err := ParseEnv(spec, env); err != nil {
+		if _, err := Parse(spec, env); err != nil {
 			t.Errorf("KnownSpecs entry %q does not parse: %v", spec, err)
 		}
 	}
 }
 
 func TestParseErrors(t *testing.T) {
-	bad := []string{
-		"",
-		"nope",
-		"gshare",                      // missing args
-		"gshare:",                     // empty args
-		"gshare:x",                    // non-numeric
-		"gshare:16,2",                 // too many args
-		"pas:12",                      // too few args
-		"hybrid:gshare:8",             // missing parens
-		"hybrid:(gshare:8),(loop)",    // missing bits
-		"hybrid:((gshare:8),(loop),4", // unbalanced
-		"hybrid:(gshare:8),(loop),x",  // bad bits
-		"hybrid:(nope),(loop),4",      // bad inner spec
-		"hybrid:(loop),(nope),4",      // bad inner spec (second)
+	// Every failure must be a *ParseError of the expected kind naming the
+	// offending token.
+	bad := []struct {
+		spec      string
+		wantKind  ErrKind
+		wantToken string
+	}{
+		{"", ErrUnknownName, ""},
+		{"nope", ErrUnknownName, "nope"},
+		{"gshare", ErrBadParam, ""},                                          // missing args
+		{"gshare:", ErrBadParam, ""},                                         // empty args
+		{"gshare:x", ErrBadParam, "x"},                                       // non-numeric
+		{"gshare:16,2", ErrBadParam, "16,2"},                                 // too many args
+		{"pas:12", ErrBadParam, "12"},                                        // too few args
+		{"gshare:999", ErrBadParam, "999"},                                   // out of range
+		{"hybrid:gshare:8", ErrBadParam, "gshare:8"},                         // missing parens
+		{"hybrid:(gshare:8),(loop)", ErrBadParam, ""},                        // missing bits
+		{"hybrid:((gshare:8),(loop),4", ErrBadParam, "((gshare:8),(loop),4"}, // unbalanced
+		{"hybrid:(gshare:8),(loop),x", ErrBadParam, "x"},                     // bad bits
+		{"hybrid:(nope),(loop),4", ErrUnknownName, "nope"},                   // bad inner spec
+		{"hybrid:(loop),(nope),4", ErrUnknownName, "nope"},                   // bad inner spec (second)
+		{"tage:3", ErrBadParam, "3"},                                         // tage takes no args
+		{"ideal-static", ErrMissingContext, "ideal-static"},                  // needs stats
+		{"profiled-gshare:16", ErrMissingContext, "profiled-gshare"},         // needs trace
 	}
-	for _, spec := range bad {
-		if _, err := Parse(spec, nil); err == nil {
-			t.Errorf("Parse(%q) should fail", spec)
+	for _, c := range bad {
+		_, err := Parse(c.spec, Env{})
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.spec)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T %v, want *ParseError", c.spec, err, err)
+			continue
+		}
+		if pe.Kind != c.wantKind {
+			t.Errorf("Parse(%q) kind = %v, want %v (err: %v)", c.spec, pe.Kind, c.wantKind, err)
+		}
+		if pe.Token != c.wantToken {
+			t.Errorf("Parse(%q) token = %q, want %q (err: %v)", c.spec, pe.Token, c.wantToken, err)
 		}
 	}
-	if _, err := Parse("ideal-static", nil); err == nil || !strings.Contains(err.Error(), "statistics") {
+	// The Error text keeps the words callers and operators grep for.
+	if _, err := Parse("ideal-static", Env{}); err == nil || !strings.Contains(err.Error(), "statistics") {
 		t.Errorf("ideal-static without stats: %v", err)
 	}
-	if _, err := Parse("profiled-gshare:16", nil); err == nil || !strings.Contains(err.Error(), "trace") {
+	if _, err := Parse("profiled-gshare:16", Env{}); err == nil || !strings.Contains(err.Error(), "trace") {
 		t.Errorf("profiled-gshare without trace: %v", err)
+	}
+}
+
+// TestParseAll checks the multi-spec helper stops at the first failure
+// and surfaces the inner spec's structured error.
+func TestParseAll(t *testing.T) {
+	ps, err := ParseAll([]string{"gshare:12", "loop"}, Env{})
+	if err != nil || len(ps) != 2 {
+		t.Fatalf("ParseAll = %d preds, err %v", len(ps), err)
+	}
+	_, err = ParseAll([]string{"gshare:12", "nope"}, Env{})
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Kind != ErrUnknownName || pe.Token != "nope" {
+		t.Fatalf("ParseAll bad spec: err = %v", err)
+	}
+}
+
+// TestErrKindString covers the diagnostic names.
+func TestErrKindString(t *testing.T) {
+	for k, want := range map[ErrKind]string{
+		ErrUnknownName:    "unknown-name",
+		ErrBadParam:       "bad-param",
+		ErrMissingContext: "missing-context",
+		ErrKind(42):       "ErrKind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("ErrKind(%d).String() = %q, want %q", int(k), got, want)
+		}
 	}
 }

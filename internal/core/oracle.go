@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"branchcorr/internal/obs"
 	"branchcorr/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type OracleConfig struct {
 	// GOMAXPROCS. Scoring writes into pre-assigned per-branch slots, so
 	// the Selections are identical at every parallelism level.
 	ScoreParallel int
+	// Obs receives the oracle's counters (candidate occupancy, prune
+	// events) and pass spans; nil selects obs.Default(). Counter values
+	// depend only on the trace and config, never on ScoreParallel.
+	Obs *obs.Registry
 }
 
 // maxTopK bounds the beam width (and the States scratch arrays).
@@ -155,5 +160,8 @@ func BuildSelective(t *trace.Trace, cfg OracleConfig) *Selections {
 // BuildSelectivePacked is BuildSelective over a pre-built columnar trace
 // view, packing the trace exactly zero times.
 func BuildSelectivePacked(pt *trace.Packed, cfg OracleConfig) *Selections {
+	reg := obs.Or(cfg.Obs)
+	reg.Counter("core.oracle.builds").Inc()
+	defer reg.StartSpan("core.oracle.build").End()
 	return SelectRefsPacked(pt, ProfileCandidatesPacked(pt, cfg), cfg)
 }

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"branchcorr/internal/obs"
 	"branchcorr/internal/runner"
 	"branchcorr/internal/trace"
 )
@@ -179,9 +180,10 @@ func (e *candEntry) presence() uint32 {
 // per-candidate allocation. It reproduces the reference's mid-stream
 // watermark prune (see OracleConfig.MaxCandidates) bit for bit.
 type candTable struct {
-	slots []int32 // index into cands, -1 = empty; power-of-two sized
-	shift uint    // 64 - log2(len(slots)), for fibonacci hashing
-	cands []candEntry
+	slots  []int32 // index into cands, -1 = empty; power-of-two sized
+	shift  uint    // 64 - log2(len(slots)), for fibonacci hashing
+	cands  []candEntry
+	prunes int // watermark prunes fired (summed into core.oracle.prune.events)
 }
 
 const candTableInitSlots = 16
@@ -236,6 +238,7 @@ func (t *candTable) prune(maxKeep int, addrs []trace.Addr) {
 	if len(t.cands) <= maxKeep {
 		return
 	}
+	t.prunes++
 	sort.Slice(t.cands, func(i, j int) bool {
 		pi, pj := t.cands[i].presence(), t.cands[j].presence()
 		if pi != pj {
@@ -281,6 +284,8 @@ func (p *kernelProfile) profileScore(e *candEntry) uint32 {
 // ReferenceProfileCandidates.
 func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]*Candidates {
 	cfg = cfg.withDefaults()
+	reg := obs.Or(cfg.Obs)
+	defer reg.StartSpan("core.oracle.profile").End()
 	nb := pt.NumBranches()
 	addrs := pt.Addrs()
 	ids := pt.IDs()
@@ -325,8 +330,12 @@ func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]
 
 	result := make(map[trace.Addr]*Candidates, nb)
 	var scratch []scoredRef
+	var prunes, occupancy int64
 	for id := 0; id < nb; id++ {
 		p := &profiles[id]
+		prunes += int64(p.tab.prunes)
+		occupancy += int64(len(p.tab.cands))
+		reg.Gauge("core.oracle.candidates.peak").Max(int64(len(p.tab.cands)))
 		scratch = scratch[:0]
 		for ci := range p.tab.cands {
 			e := &p.tab.cands[ci]
@@ -338,6 +347,11 @@ func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]
 		}
 		result[addrs[id]] = rankCandidates(scratch, int(p.total[0]+p.total[1]), cfg.TopK)
 	}
+	// Candidate occupancy and prune pressure depend only on (trace,
+	// config): the profiling stream is sequential, so the counters are
+	// deterministic and comparable across runs.
+	reg.Counter("core.oracle.prune.events").Add(prunes)
+	reg.Counter("core.oracle.candidates").Add(occupancy)
 	return result
 }
 
@@ -444,6 +458,7 @@ type branchSelection struct {
 // any level). Produces bit-identical Selections to ReferenceSelectRefs.
 func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg OracleConfig) *Selections {
 	cfg = cfg.withDefaults()
+	defer obs.Or(cfg.Obs).StartSpan("core.oracle.select").End()
 
 	// Canonical branch order: candidate-map keys, sorted. Cells are
 	// created in this order, so scoring is deterministic at any

@@ -20,6 +20,7 @@ func testSuite(t *testing.T) *Suite {
 		Length:      50_000,
 		Workloads:   []string{"gcc", "ijpeg", "perl", "vortex"},
 		Fig5Windows: []int{8, 16},
+		ExtraSpecs:  []string{"bimodal:12", "ideal-static"},
 	}, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -111,7 +111,7 @@ func (s *Suite) figure5Cell(ctx context.Context, tr *trace.Trace) []float64 {
 			ocfg.WindowLen = n
 			sels := s.oracleBuild(tr, ocfg)
 			p := core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3])
-			r = sim.RunOne(tr, p)
+			r = s.simRun(tr, p)[0]
 		}
 		accs[wi] = r.Accuracy()
 	}

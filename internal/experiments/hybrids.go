@@ -47,7 +47,7 @@ func (s *Suite) Hybrids() *HybridsResult {
 func (s *Suite) hybridsCell(tr *trace.Trace) HybridRow {
 	s.log("%s: hybrid organizations", tr.Name())
 	b := s.baseFor(tr)
-	rs := sim.Run(tr,
+	rs := s.simRun(tr,
 		bp.NewHybrid(s.newGshare(), s.newPAs(), 12),
 		bp.NewTournament(s.cfg.PAsHistBits, s.cfg.PAsBHTBits, s.cfg.GshareBits, 12),
 	)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"branchcorr/internal/core"
-	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
 	"branchcorr/internal/trace"
 )
@@ -50,7 +49,7 @@ func (s *Suite) inPathCell(tr *trace.Trace) InPathRow {
 	// same assignment.
 	pres := core.NewSelectiveMode("presence-sel3", s.cfg.Oracle.WindowLen,
 		g.sels.BySize[3], core.ModePresence)
-	pr := sim.RunOne(tr, pres)
+	pr := s.simRun(tr, pres)[0]
 	return InPathRow{
 		Benchmark: tr.Name(),
 		Direction: g.sel[3].Accuracy(),

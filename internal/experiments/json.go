@@ -23,6 +23,7 @@ type Report struct {
 	Ceiling  *CeilingResult  `json:"ceiling,omitempty"`
 	Hybrids  *HybridsResult  `json:"hybrids,omitempty"`
 	Training *TrainingResult `json:"training,omitempty"`
+	Extra    *ExtraResult    `json:"extra,omitempty"`
 }
 
 // ReportConfig records the parameters a report was produced with.

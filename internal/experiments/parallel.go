@@ -19,6 +19,7 @@ func ExhibitOrder() []string {
 		"ceiling",  // extension: achieved accuracy vs entropy ceilings
 		"hybrids",  // extension: hybrid organizations vs ideal per-branch choice
 		"training", // extension: cold-start vs steady-state accuracy
+		"extra",    // user-spec'd predictors (Config.ExtraSpecs; skipped when empty)
 	}
 }
 
@@ -191,9 +192,29 @@ func (s *Suite) BuildReport(ctx context.Context, exhibits []string, opts runner.
 				tr := s.traces[i]
 				return func() { res.Rows[i] = s.trainingCell(tr) }
 			})
+		case "extra":
+			if len(s.cfg.ExtraSpecs) == 0 {
+				continue // nothing requested: keep default reports unchanged
+			}
+			res := s.newExtraResult()
+			report.Extra = res
+			for i, tr := range s.traces {
+				i, tr := i, tr
+				cell(e, tr.Name(), func(context.Context) error {
+					row, err := s.extraCell(tr)
+					if err != nil {
+						return err
+					}
+					res.Acc[i] = row
+					return nil
+				})
+			}
 		}
 	}
 
+	// Every run instruments cell lifecycle into the suite's registry on
+	// top of whatever observer the caller supplied.
+	opts.Observer = runner.Chain(runner.RegistryObserver(s.obs), opts.Observer)
 	if err := runner.Run(ctx, cells, opts); err != nil {
 		return nil, err
 	}
@@ -255,6 +276,10 @@ func (r *Report) RenderExhibit(name string) (string, bool) {
 	case "training":
 		if r.Training != nil {
 			return r.Training.Render(), true
+		}
+	case "extra":
+		if r.Extra != nil {
+			return r.Extra.Render(), true
 		}
 	}
 	return "", false

@@ -13,6 +13,7 @@ import (
 
 	"branchcorr/internal/bp"
 	"branchcorr/internal/core"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/trace"
 	"branchcorr/internal/workloads"
@@ -48,6 +49,17 @@ type Config struct {
 	// Fig9Percentiles are the x-axis points of Figure 9 (default 0..100
 	// step 5).
 	Fig9Percentiles []float64
+	// ExtraSpecs adds the "extra" exhibit: a per-workload accuracy table
+	// for these bp.Parse predictor specs (the -p flag of
+	// cmd/experiments). Empty skips the exhibit entirely, so default
+	// reports are unchanged.
+	ExtraSpecs []string
+	// Obs receives the suite's metrics — memoization hit rates, cell
+	// spans via the runner observer, and (threaded through) the sim and
+	// oracle counters. nil selects obs.Default(). Counter values depend
+	// only on the configuration and requested exhibits, never on
+	// parallelism.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +97,9 @@ func (c Config) withDefaults() Config {
 		for p := 0.0; p <= 100; p += 5 {
 			c.Fig9Percentiles = append(c.Fig9Percentiles, p)
 		}
+	}
+	if c.Oracle.Obs == nil {
+		c.Oracle.Obs = c.Obs
 	}
 	return c
 }
@@ -143,6 +158,7 @@ func (m *memo[T]) get(key string, compute func() T) T {
 // BuildReport schedules) are safe to call concurrently.
 type Suite struct {
 	cfg     Config
+	obs     *obs.Registry
 	traces  []*trace.Trace
 	global  memo[*globalBundle]
 	classes memo[*core.PAClassification]
@@ -156,14 +172,16 @@ type Suite struct {
 	oracleBuild func(tr *trace.Trace, cfg core.OracleConfig) *core.Selections
 
 	// simRun drives a batch of predictors over a trace. It defaults to
-	// sim.Run, whose columnar fast path kicks in when every predictor in
-	// the batch has a batched kernel; differential tests swap in
-	// sim.RunReference to prove report bytes are engine-independent.
+	// sim.Simulate (with the suite's registry), whose columnar fast path
+	// kicks in per predictor with a batched kernel; differential tests
+	// swap in a ForceReference call to prove report bytes are
+	// engine-independent.
 	simRun func(tr *trace.Trace, predictors ...bp.Predictor) []*sim.Result
 
 	// simTimeline is simRun's counterpart for the training-time exhibit;
-	// it defaults to sim.RunTimeline (same fast-path dispatch), and the
-	// differential tests swap in a kernel-stripping wrapper.
+	// it defaults to sim.Simulate with a bucket size (same fast-path
+	// dispatch), and the differential tests swap in a kernel-stripping
+	// wrapper.
 	simTimeline func(tr *trace.Trace, bucket int, predictors ...bp.Predictor) []*sim.Timeline
 }
 
@@ -185,12 +203,16 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 			inner(format, args...)
 		}
 	}
-	s := &Suite{cfg: cfg, log: logf}
+	s := &Suite{cfg: cfg, obs: obs.Or(cfg.Obs), log: logf}
 	s.oracleBuild = func(tr *trace.Trace, ocfg core.OracleConfig) *core.Selections {
 		return core.BuildSelectivePacked(s.packedFor(tr), ocfg)
 	}
-	s.simRun = sim.Run
-	s.simTimeline = sim.RunTimeline
+	s.simRun = func(tr *trace.Trace, predictors ...bp.Predictor) []*sim.Result {
+		return sim.Simulate(tr, predictors, sim.Options{Observer: cfg.Obs}).Results
+	}
+	s.simTimeline = func(tr *trace.Trace, bucket int, predictors ...bp.Predictor) []*sim.Timeline {
+		return sim.Simulate(tr, predictors, sim.Options{BucketSize: bucket, Observer: cfg.Obs}).Timelines
+	}
 	for _, name := range cfg.Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -238,7 +260,9 @@ func (s *Suite) packedFor(tr *trace.Trace) *trace.Packed {
 // trace at the configured oracle window. Concurrent callers for the same
 // trace block on one computation and share its bundle.
 func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
+	s.obs.Counter("suite.memo.global.calls").Inc()
 	return s.global.get(tr.Name(), func() *globalBundle {
+		s.obs.Counter("suite.memo.global.misses").Inc()
 		s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
 		sels := s.oracleBuild(tr, s.cfg.Oracle)
 		selective := []bp.Predictor{
@@ -261,7 +285,9 @@ func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
 
 // classFor computes (once) the per-address classification of a trace.
 func (s *Suite) classFor(tr *trace.Trace) *core.PAClassification {
+	s.obs.Counter("suite.memo.classes.calls").Inc()
 	return s.classes.get(tr.Name(), func() *core.PAClassification {
+		s.obs.Counter("suite.memo.classes.misses").Inc()
 		s.log("%s: per-address classification", tr.Name())
 		return core.ClassifyPerAddress(tr, core.ClassifyConfig{IFPAsHistoryBits: s.cfg.IFPAsBits})
 	})
@@ -269,7 +295,9 @@ func (s *Suite) classFor(tr *trace.Trace) *core.PAClassification {
 
 // baseFor computes (once) the ideal-static, gshare, and PAs baselines.
 func (s *Suite) baseFor(tr *trace.Trace) *baseBundle {
+	s.obs.Counter("suite.memo.base.calls").Inc()
 	return s.base.get(tr.Name(), func() *baseBundle {
+		s.obs.Counter("suite.memo.base.misses").Inc()
 		s.log("%s: baseline predictors (static, gshare, PAs)", tr.Name())
 		stats := trace.Summarize(tr)
 		rs := s.simRun(tr, bp.NewIdealStatic(stats), s.newGshare(), s.newPAs())

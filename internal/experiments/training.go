@@ -100,7 +100,7 @@ func (s *Suite) TimelineFor(name string, bucket int) (string, error) {
 	if tr == nil {
 		return "", fmt.Errorf("experiments: benchmark %q not in suite", name)
 	}
-	tls := sim.RunTimeline(tr, bucket, s.newGshare(), bp.NewBimodal(14))
+	tls := s.simTimeline(tr, bucket, s.newGshare(), bp.NewBimodal(14))
 	xs := make([]float64, len(tls[0].Accuracy))
 	ys := make([][]float64, len(tls))
 	names := make([]string, len(tls))

@@ -59,6 +59,7 @@ func AllRules() []Rule {
 		counterRule{},
 		ioPrintRule{},
 		errcheckRule{},
+		obsIORule{},
 	}
 }
 

@@ -18,6 +18,7 @@ var fixtureCases = []struct {
 	{"internal/contractfix", "bp-contract,bp-registry"},
 	{"internal/counterfix", "ctr-saturate"},
 	{"internal/iofix", "io-print,io-errcheck"},
+	{"internal/obsfix", "obs-io"},
 }
 
 // loc is one (file, line, rule) diagnostic location.
@@ -111,7 +112,7 @@ func TestFixtures(t *testing.T) {
 // directive (so TestFixtures keeps exercising the suppression path).
 func TestFixturesHaveIgnores(t *testing.T) {
 	pkgs := loadFixtures(t)
-	for _, dir := range []string{"internal/determfix", "internal/counterfix", "internal/iofix"} {
+	for _, dir := range []string{"internal/determfix", "internal/counterfix", "internal/iofix", "internal/obsfix"} {
 		pkg := findPackage(t, pkgs, dir)
 		if len(buildIgnoreIndex(pkg)) == 0 {
 			t.Errorf("%s: no //bplint:ignore directive; suppression is untested", dir)

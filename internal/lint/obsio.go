@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// obsIORule quarantines debug-endpoint machinery in internal/obs. expvar
+// and net/http/pprof register handlers on process-global state as an
+// import side effect, and net/http drags a whole server into any binary
+// that links it; if those imports leak into simulator packages, library
+// code grows hidden global state and the measurement core stops being
+// embeddable. Library packages record into an obs.Registry; internal/obs
+// owns the one bridge to expvar/HTTP, and cmd/ decides whether to serve
+// it.
+type obsIORule struct{}
+
+func (obsIORule) ID() string { return "obs-io" }
+func (obsIORule) Doc() string {
+	return "forbid expvar/net/http/pprof imports outside internal/obs (debug transport lives in obs; cmd/ serves it)"
+}
+
+func (r obsIORule) Check(pkg *Package) []Finding {
+	if !pkg.hasSegment("internal") || strings.HasSuffix(pkg.Path, "internal/obs") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch path {
+			case "expvar", "net/http", "net/http/pprof":
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(imp.Pos()),
+					Rule: r.ID(),
+					Msg: fmt.Sprintf("import of %q outside internal/obs; record into an obs.Registry and let cmd/ expose it",
+						path),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+// Package obsfix seeds obs-io violations for the bplint fixture tests:
+// debug-endpoint imports (expvar, net/http, net/http/pprof) from a
+// library package that is not internal/obs.
+package obsfix
+
+import (
+	_ "expvar" // want obs-io
+
+	_ "net/http/pprof" // want obs-io
+
+	"net/http" // want obs-io
+
+	//bplint:ignore obs-io fixture: suppression must hide this
+	_ "net/http/pprof"
+
+	"fmt" // allowed: only the debug-transport imports are quarantined
+)
+
+// Handler shows the kind of leak the rule exists to catch: an HTTP
+// surface growing inside library code.
+func Handler() http.Handler {
+	return http.NotFoundHandler()
+}
+
+// Describe uses the allowed import so the file stays honest about what
+// the rule does not flag.
+func Describe(v int) string {
+	return fmt.Sprintf("v=%d", v)
+}

@@ -1,0 +1,16 @@
+package obs
+
+import "time"
+
+// clockBase anchors SystemClock so its readings are differences of the
+// runtime's monotonic clock, immune to wall-time adjustments.
+var clockBase = time.Now() //bplint:ignore det-time single sanctioned clock origin; durations only ever feed histograms, which determinism comparisons exclude
+
+// SystemClock is the repo's single sanctioned wall-clock read: monotonic
+// nanoseconds since process start. Commands install it on their registry
+// (SetClock) when live timing is wanted; library code never calls it, so
+// every deterministic path stays clock-free and bplint's det-time rule
+// holds module-wide with exactly this one exemption.
+func SystemClock() int64 {
+	return int64(time.Since(clockBase)) //bplint:ignore det-time the injected Clock implementation itself
+}

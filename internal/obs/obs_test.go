@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketing pins the log2 bucket layout at its edges: zero,
+// the bucket boundaries (powers of two land in the bucket they open),
+// the maximum int64, and negative values (which clamp to zero).
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v      int64
+		wantLo int64
+	}{
+		{0, 0},
+		{-5, 0}, // negative clamps to the zero bucket
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 4},
+		{7, 4},
+		{8, 8},
+		{(1 << 62) - 1, 1 << 61},
+		{1 << 62, 1 << 62},
+		{math.MaxInt64, 1 << 62},
+	}
+	for _, c := range cases {
+		var h Histogram
+		h.Observe(c.v)
+		if h.Count() != 1 {
+			t.Fatalf("Observe(%d): count = %d", c.v, h.Count())
+		}
+		found := int64(-1)
+		for i := range h.buckets {
+			if h.buckets[i].Load() == 1 {
+				found = BucketLo(i)
+			}
+		}
+		if found != c.wantLo {
+			t.Errorf("Observe(%d): landed in bucket lo=%d, want lo=%d", c.v, found, c.wantLo)
+		}
+	}
+}
+
+// TestHistogramSumClampsNegative checks the sum reflects the clamped
+// value, not the raw negative input.
+func TestHistogramSumClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(-100)
+	h.Observe(5)
+	if h.Sum() != 5 {
+		t.Errorf("Sum = %d, want 5 (negative observation clamps to 0)", h.Sum())
+	}
+}
+
+// TestBucketLoMonotone checks the bucket bounds are strictly increasing
+// and cover the full non-negative int64 range without overflow.
+func TestBucketLoMonotone(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		lo := BucketLo(i)
+		if lo <= prev {
+			t.Fatalf("BucketLo(%d) = %d, not above BucketLo(%d) = %d", i, lo, i-1, prev)
+		}
+		prev = lo
+	}
+	if top := BucketLo(histBuckets - 1); top != 1<<62 {
+		t.Errorf("top bucket lo = %d, want %d", top, int64(1)<<62)
+	}
+}
+
+// TestCounterConcurrent checks counter adds from many goroutines sum
+// exactly.
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+}
+
+// TestRegistryHandleIdentity checks repeated lookups return the same
+// metric (so increments aggregate rather than shadow).
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := New()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter(a) returned distinct handles")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge(g) returned distinct handles")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram(h) returned distinct handles")
+	}
+}
+
+// TestGaugeMax checks Max only ever raises the value.
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(5)
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Errorf("gauge = %d, want 9", g.Value())
+	}
+}
+
+// TestSpanWithoutClock checks spans count deterministically (zero
+// duration) when no clock is installed.
+func TestSpanWithoutClock(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("work")
+	sp.End()
+	h := r.Histogram("work.ns")
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("clockless span: count=%d sum=%d, want count=1 sum=0", h.Count(), h.Sum())
+	}
+}
+
+// TestSpanWithFakeClock checks the injected clock drives durations.
+func TestSpanWithFakeClock(t *testing.T) {
+	r := New()
+	now := int64(0)
+	r.SetClock(func() int64 { return now })
+	sp := r.StartSpan("work")
+	now = 640
+	sp.End()
+	h := r.Histogram("work.ns")
+	if h.Count() != 1 || h.Sum() != 640 {
+		t.Errorf("span: count=%d sum=%d, want count=1 sum=640", h.Count(), h.Sum())
+	}
+}
+
+// TestSystemClockMonotone sanity-checks the sanctioned clock: readings
+// never go backwards.
+func TestSystemClockMonotone(t *testing.T) {
+	a := SystemClock()
+	b := SystemClock()
+	if b < a {
+		t.Errorf("SystemClock went backwards: %d then %d", a, b)
+	}
+}
+
+// TestSnapshotDeterministic checks two registries fed the same metrics
+// snapshot to byte-identical JSON, regardless of insertion order.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []int) []byte {
+		r := New()
+		names := []string{"b.count", "a.count", "c.count"}
+		for _, i := range order {
+			r.Counter(names[i]).Add(int64(10 * (i + 1)))
+		}
+		r.Gauge("occupancy").Set(7)
+		r.Histogram("lat").Observe(3)
+		r.Histogram("lat").Observe(300)
+		b, err := r.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	x := build([]int{0, 1, 2})
+	y := build([]int{2, 1, 0})
+	if !bytes.Equal(x, y) {
+		t.Errorf("snapshots differ by insertion order:\n%s\nvs\n%s", x, y)
+	}
+}
+
+// TestSnapshotWithoutHistograms checks the determinism view drops only
+// histograms.
+func TestSnapshotWithoutHistograms(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(2)
+	r.StartSpan("s").End()
+	s := r.Snapshot().WithoutHistograms()
+	if s.Histograms != nil {
+		t.Error("WithoutHistograms kept histograms")
+	}
+	if s.Counters["c"] != 1 || s.Gauges["g"] != 2 {
+		t.Errorf("WithoutHistograms dropped counters/gauges: %+v", s)
+	}
+}
+
+// TestSnapshotJSONShape pins the snapshot's top-level shape (the
+// -metrics file format other tooling greps).
+func TestSnapshotJSONShape(t *testing.T) {
+	r := New()
+	r.Counter("sim.records").Add(100)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"counters\": {\n    \"sim.records\": 100\n  }\n}\n"
+	if buf.String() != want {
+		t.Errorf("snapshot JSON = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestServeDebug smoke-tests the debug endpoint: /debug/vars serves
+// expvar JSON and /metrics serves the snapshot.
+func TestServeDebug(t *testing.T) {
+	r := New()
+	r.Counter("hits").Add(3)
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := ds.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	for _, path := range []string{"/debug/vars", "/metrics"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Errorf("close body: %v", cerr)
+		}
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !bytes.Contains(body, []byte("hits")) {
+			t.Errorf("GET %s: body lacks the counter: %s", path, body)
+		}
+	}
+}

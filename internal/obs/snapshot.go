@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Snapshot is a point-in-time copy of a registry's metrics in a shape
+// that marshals deterministically: encoding/json emits map keys sorted,
+// and histogram buckets are an ordered slice of non-empty buckets.
+//
+// A snapshot taken while writers are still running is per-metric atomic
+// but not cross-metric atomic; callers wanting exact totals snapshot at
+// a quiescent point (the commands snapshot after the report finishes).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's state: total count and sum plus
+// the non-empty log2 buckets in ascending order.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: Lo is the inclusive lower
+// bound of the value range (0, 1, 2, 4, ...), N the observation count.
+type Bucket struct {
+	Lo int64 `json:"lo"`
+	N  int64 `json:"n"`
+}
+
+// Snapshot copies the registry's current metric values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+			for i := range h.buckets {
+				if n := h.buckets[i].Load(); n > 0 {
+					hs.Buckets = append(hs.Buckets, Bucket{Lo: BucketLo(i), N: n})
+				}
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WithoutHistograms returns a copy of the snapshot with every histogram
+// dropped. Histograms are where nondeterminism is allowed to live (span
+// durations under a real clock); everything else — counters and gauges —
+// must be bit-identical across runs and parallelism levels, and this
+// view is what the determinism tests and the CI counter golden compare.
+func (s Snapshot) WithoutHistograms() Snapshot {
+	s.Histograms = nil
+	return s
+}
+
+// MarshalIndent renders the snapshot as indented JSON with a trailing
+// newline. Keys are sorted (encoding/json map behavior), buckets
+// ordered, so equal metric states produce equal bytes.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the registry's snapshot to w.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteFile writes the registry's snapshot to path.
+func (r *Registry) WriteFile(path string) error {
+	b, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -7,8 +7,10 @@
 // how many workers raced.
 //
 // The runner itself never reads the wall clock (bplint's det-time rule
-// bans it module-wide); benchmarks that want per-cell timing inject it
-// through Options.Wrap.
+// bans it module-wide); anything that wants per-cell timing or metrics
+// injects it through Options.Observer — RegistryObserver wires a cell's
+// lifecycle into an obs.Registry, and benchmarks hang their own timing
+// closures off the same hook.
 package runner
 
 import (
@@ -17,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"branchcorr/internal/obs"
 )
 
 // RunFunc executes one cell's work. Implementations write their result
@@ -44,17 +48,78 @@ func (c Cell) String() string {
 	return c.Exhibit + "/" + c.Workload
 }
 
+// Observer receives cell lifecycle events: it is invoked on the worker
+// goroutine immediately before a cell runs and returns the function
+// invoked (with the cell's error, nil on success) when it finishes. It
+// generalizes the old Wrap hook — timing, tracing, and metrics all hang
+// off the same two points — and must be safe for concurrent use; the
+// returned closure carries any per-cell state (start times, spans), so
+// no cross-cell bookkeeping is needed.
+type Observer func(c Cell) func(err error)
+
 // Options configures a pool run.
 type Options struct {
 	// Parallel is the number of worker goroutines; 0 or negative selects
 	// runtime.GOMAXPROCS(0). The pool never spawns more workers than
 	// there are cells.
 	Parallel int
-	// Wrap, if non-nil, decorates every cell's RunFunc just before the
-	// cell executes. Benchmarks use it to time cells; the decorated
-	// function runs on the worker goroutine, so the wrapper must be safe
-	// for concurrent use.
-	Wrap func(c Cell, run RunFunc) RunFunc
+	// Observer, if non-nil, observes every cell's execution (span start
+	// and end with the cell's identity). See RegistryObserver for the
+	// obs-backed implementation and Chain for stacking several.
+	Observer Observer
+}
+
+// RegistryObserver returns an Observer instrumenting cell execution into
+// reg: counters runner.cells.started, runner.cells.finished, and
+// runner.cells.failed, plus one duration histogram per exhibit
+// ("runner.cell.<exhibit>.ns"). Cell counts are deterministic for a
+// given report at every parallelism level; only the histogram durations
+// vary (and only when a clock is installed).
+func RegistryObserver(reg *obs.Registry) Observer {
+	reg = obs.Or(reg)
+	return func(c Cell) func(error) {
+		reg.Counter("runner.cells.started").Inc()
+		span := reg.StartSpan("runner.cell." + c.Exhibit)
+		return func(err error) {
+			span.End()
+			if err != nil {
+				reg.Counter("runner.cells.failed").Inc()
+			} else {
+				reg.Counter("runner.cells.finished").Inc()
+			}
+		}
+	}
+}
+
+// Chain combines observers, invoking them in order (and their end
+// callbacks in reverse order, innermost first). nil entries are skipped;
+// chaining zero non-nil observers yields nil.
+func Chain(observers ...Observer) Observer {
+	var live []Observer
+	for _, o := range observers {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(c Cell) func(error) {
+		ends := make([]func(error), len(live))
+		for i, o := range live {
+			ends[i] = o(c)
+		}
+		return func(err error) {
+			for i := len(ends) - 1; i >= 0; i-- {
+				if ends[i] != nil {
+					ends[i](err)
+				}
+			}
+		}
+	}
 }
 
 // Run executes the cells across a worker pool and blocks until every
@@ -99,11 +164,15 @@ func Run(ctx context.Context, cells []Cell, opts Options) error {
 				if poolCtx.Err() != nil {
 					return // pool aborted: leave remaining cells unrun
 				}
-				run := cells[i].Run
-				if opts.Wrap != nil {
-					run = opts.Wrap(cells[i], run)
+				var end func(error)
+				if opts.Observer != nil {
+					end = opts.Observer(cells[i])
 				}
-				if err := run(poolCtx); err != nil {
+				err := cells[i].Run(poolCtx)
+				if end != nil {
+					end(err)
+				}
+				if err != nil {
 					errs[i] = fmt.Errorf("runner: cell %s: %w", cells[i], err)
 					cancel()
 				}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"branchcorr/internal/obs"
 )
 
 // cellsFilling returns n cells that each write their index into out.
@@ -134,32 +136,96 @@ func TestRunExternalCancellation(t *testing.T) {
 	}
 }
 
-func TestRunWrapSeesEveryCell(t *testing.T) {
+func TestRunObserverSeesEveryCell(t *testing.T) {
 	var mu sync.Mutex
-	seen := map[string]int{}
+	started := map[string]int{}
+	ended := map[string]int{}
 	out := make([]int, 12)
 	opts := Options{
 		Parallel: 3,
-		Wrap: func(c Cell, run RunFunc) RunFunc {
-			return func(ctx context.Context) error {
-				err := run(ctx)
+		Observer: func(c Cell) func(error) {
+			mu.Lock()
+			started[c.String()]++
+			mu.Unlock()
+			return func(err error) {
 				mu.Lock()
-				seen[c.String()]++
+				ended[c.String()]++
 				mu.Unlock()
-				return err
+				if err != nil {
+					t.Errorf("cell %s ended with unexpected error %v", c, err)
+				}
 			}
 		},
 	}
 	if err := Run(context.Background(), cellsFilling(out), opts); err != nil {
 		t.Fatal(err)
 	}
-	if len(seen) != len(out) {
-		t.Fatalf("wrap saw %d distinct cells, want %d", len(seen), len(out))
+	if len(started) != len(out) || len(ended) != len(out) {
+		t.Fatalf("observer saw %d starts / %d ends, want %d of each", len(started), len(ended), len(out))
 	}
-	for id, n := range seen {
-		if n != 1 {
-			t.Fatalf("cell %s wrapped %d times", id, n)
+	for id, n := range started {
+		if n != 1 || ended[id] != 1 {
+			t.Fatalf("cell %s observed %d starts / %d ends", id, n, ended[id])
 		}
+	}
+}
+
+// TestRunObserverSeesCellError checks the end callback receives the
+// cell's error (the hook metrics and spans classify failures with).
+func TestRunObserverSeesCellError(t *testing.T) {
+	boom := errors.New("boom")
+	var gotErr error
+	cells := []Cell{{Exhibit: "x", Run: func(context.Context) error { return boom }}}
+	opts := Options{Parallel: 1, Observer: func(Cell) func(error) {
+		return func(err error) { gotErr = err }
+	}}
+	if err := Run(context.Background(), cells, opts); !errors.Is(err, boom) {
+		t.Fatalf("Run err = %v, want boom", err)
+	}
+	if !errors.Is(gotErr, boom) {
+		t.Fatalf("observer end saw %v, want boom", gotErr)
+	}
+}
+
+// TestRegistryObserver checks the obs-backed observer's counters and the
+// per-exhibit span histograms.
+func TestRegistryObserver(t *testing.T) {
+	reg := obs.New()
+	out := make([]int, 6)
+	opts := Options{Parallel: 2, Observer: RegistryObserver(reg)}
+	if err := Run(context.Background(), cellsFilling(out), opts); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["runner.cells.started"] != 6 || snap.Counters["runner.cells.finished"] != 6 {
+		t.Errorf("cell counters = %v, want 6 started and finished", snap.Counters)
+	}
+	if snap.Counters["runner.cells.failed"] != 0 {
+		t.Errorf("failed = %d, want 0", snap.Counters["runner.cells.failed"])
+	}
+}
+
+// TestChainObservers checks Chain composes observers in order, skips
+// nils, and unwinds end callbacks innermost-first.
+func TestChainObservers(t *testing.T) {
+	if Chain(nil, nil) != nil {
+		t.Error("Chain of nils should be nil")
+	}
+	var order []string
+	mk := func(name string) Observer {
+		return func(Cell) func(error) {
+			order = append(order, name+"-start")
+			return func(error) { order = append(order, name+"-end") }
+		}
+	}
+	chained := Chain(mk("a"), nil, mk("b"))
+	cells := []Cell{{Exhibit: "x", Run: func(context.Context) error { return nil }}}
+	if err := Run(context.Background(), cells, Options{Parallel: 1, Observer: chained}); err != nil {
+		t.Fatal(err)
+	}
+	want := "a-start b-start b-end a-end"
+	if got := strings.Join(order, " "); got != want {
+		t.Errorf("chain order = %q, want %q", got, want)
 	}
 }
 

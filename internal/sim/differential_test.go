@@ -126,7 +126,7 @@ func TestDifferentialMultiPredictor(t *testing.T) {
 	mk := func() []bp.Predictor {
 		ps := make([]bp.Predictor, len(specs))
 		for i, s := range specs {
-			p, err := bp.Parse(s, nil)
+			p, err := bp.Parse(s, bp.Env{})
 			if err != nil {
 				t.Fatal(err)
 			}

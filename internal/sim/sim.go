@@ -5,22 +5,32 @@
 // accuracies, and the classifications of section 5 compare per-branch
 // correct counts across predictors.
 //
-// The package has two execution engines with pinned-identical results:
+// Simulate is the single entry point: it drives a set of predictors over
+// a trace under an Options value selecting parallelism, timeline
+// bucketing, and engine. The package has two execution engines with
+// pinned-identical results:
 //
-//   - the reference loop (RunReference) — one Predict/Update interface
-//     call pair and one per-address map update per dynamic branch — which
-//     is the executable specification;
-//   - the columnar fast path, taken transparently by Run, RunConcurrent,
-//     and RunTimeline when every predictor implements bp.KernelPredictor:
-//     the trace's memoized Packed view (dense int32 branch IDs + taken
-//     bitset) streams through each predictor's batched SimulateBlock
-//     kernel, and per-branch correct counts accumulate in a flat slice
-//     indexed by dense ID instead of a pointer map.
+//   - the reference loop (Options.ForceReference) — one Predict/Update
+//     interface call pair and one per-address map update per dynamic
+//     branch — which is the executable specification;
+//   - the columnar fast path, taken transparently for every predictor
+//     implementing bp.KernelPredictor: the trace's memoized Packed view
+//     (dense int32 branch IDs + taken bitset) streams through the
+//     predictor's batched SimulateBlock kernel, and per-branch correct
+//     counts accumulate in a flat slice indexed by dense ID instead of a
+//     pointer map.
 //
 // Differential tests (kernel_test.go, differential_test.go, and the
 // experiments package's report byte-identity test) prove the two engines
 // bit-identical: same totals, same per-branch accounts, same report
 // bytes.
+//
+// Simulate reports which engine each predictor engaged into an
+// obs.Registry (Options.Observer, defaulting to the process registry):
+// counters sim.records, sim.runs.{fastpath,reference}, and
+// sim.{fastpath,reference}.<predictor>. The counts depend only on the
+// work requested, never on scheduling, so snapshots are identical at any
+// parallelism.
 package sim
 
 import (
@@ -29,6 +39,7 @@ import (
 	"sort"
 
 	"branchcorr/internal/bp"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/runner"
 	"branchcorr/internal/trace"
 )
@@ -107,24 +118,6 @@ func (r *Result) record(pc trace.Addr, correct bool) {
 	}
 }
 
-// kernelsOf returns the batched-kernel view of every predictor, or
-// ok=false if any predictor lacks one (or the list is empty), in which
-// case callers must use the reference loop.
-func kernelsOf(predictors []bp.Predictor) ([]bp.KernelPredictor, bool) {
-	if len(predictors) == 0 {
-		return nil, false
-	}
-	ks := make([]bp.KernelPredictor, len(predictors))
-	for i, p := range predictors {
-		k, ok := p.(bp.KernelPredictor)
-		if !ok {
-			return nil, false
-		}
-		ks[i] = k
-	}
-	return ks, true
-}
-
 // fullBlock builds the kernel input covering the whole packed trace.
 func fullBlock(pt *trace.Packed) bp.KernelBlock {
 	return bp.KernelBlock{
@@ -152,71 +145,6 @@ func resultFromCounts(name string, pt *trace.Packed, correct []int32, total int)
 	return r
 }
 
-// runPackedOne drives one kernel predictor over the trace's memoized
-// columnar view: per-branch correct counts accumulate in a flat slice
-// indexed by dense branch ID, with no interface call or map lookup per
-// record.
-func runPackedOne(t *trace.Trace, k bp.KernelPredictor) *Result {
-	pt := t.Packed()
-	correct := make([]int32, pt.NumBranches())
-	total := k.SimulateBlock(fullBlock(pt), correct)
-	return resultFromCounts(k.Name(), pt, correct, total)
-}
-
-// runReferenceOne drives one predictor through the per-record reference
-// loop.
-func runReferenceOne(t *trace.Trace, p bp.Predictor) *Result {
-	res := newResult(p.Name(), t.Name())
-	for _, rec := range t.Records() {
-		correct := p.Predict(rec) == rec.Taken
-		p.Update(rec)
-		res.record(rec.PC, correct)
-	}
-	return res
-}
-
-// Run drives every predictor over the trace (each predictor sees the
-// identical committed branch stream) and returns one Result per
-// predictor, in argument order. When every predictor implements
-// bp.KernelPredictor, Run takes the columnar fast path over the trace's
-// memoized Packed view; otherwise it falls back to RunReference.
-// Predictors are mutually independent, so the two paths — and any
-// per-predictor scheduling — produce bit-identical Results.
-func Run(t *trace.Trace, predictors ...bp.Predictor) []*Result {
-	if ks, ok := kernelsOf(predictors); ok {
-		results := make([]*Result, len(ks))
-		for i, k := range ks {
-			results[i] = runPackedOne(t, k)
-		}
-		return results
-	}
-	return RunReference(t, predictors...)
-}
-
-// RunReference is the executable specification of Run: a single
-// interleaved pass calling Predict/Update per record per predictor, with
-// map-based per-branch accounting. The columnar fast path is pinned
-// bit-identical to it by the package's differential tests.
-func RunReference(t *trace.Trace, predictors ...bp.Predictor) []*Result {
-	results := make([]*Result, len(predictors))
-	for i, p := range predictors {
-		results[i] = newResult(p.Name(), t.Name())
-	}
-	for _, rec := range t.Records() {
-		for i, p := range predictors {
-			correct := p.Predict(rec) == rec.Taken
-			p.Update(rec)
-			results[i].record(rec.PC, correct)
-		}
-	}
-	return results
-}
-
-// RunOne is a convenience wrapper around Run for a single predictor.
-func RunOne(t *trace.Trace, p bp.Predictor) *Result {
-	return Run(t, p)[0]
-}
-
 // Timeline is a predictor's accuracy over consecutive equal-size spans
 // of a trace, exposing warmup/training behavior: the first buckets show
 // the cold predictor, the tail its steady state.
@@ -226,115 +154,273 @@ type Timeline struct {
 	Accuracy  []float64 // per-bucket accuracy (last bucket may be partial)
 }
 
-// RunTimeline drives the predictors over the trace, recording accuracy
-// per bucket of bucketSize dynamic branches. Like Run, it takes the
-// columnar fast path when every predictor implements bp.KernelPredictor,
-// replaying one packed block per bucket; bucket accuracies are
-// bit-identical to the reference loop's.
-func RunTimeline(t *trace.Trace, bucketSize int, predictors ...bp.Predictor) []*Timeline {
-	if bucketSize <= 0 {
-		panic("sim: bucket size must be positive")
+// Options configures one Simulate call. The zero value is the common
+// case: sequential, no timelines, fastest engine per predictor, metrics
+// into the process-wide default registry.
+type Options struct {
+	// Parallel fans predictors out across the runner worker pool, one
+	// cell per predictor (predictors are independent, the trace is
+	// read-only). Results are bit-identical to a sequential run.
+	Parallel bool
+	// BucketSize, when positive, additionally records each predictor's
+	// accuracy per bucket of this many dynamic branches (Outcome.Timelines).
+	BucketSize int
+	// ForceReference pins every predictor to the per-record reference
+	// loop, bypassing the columnar kernels — the differential tests'
+	// baseline engine.
+	ForceReference bool
+	// Observer receives the engine-engagement counters; nil selects
+	// obs.Default().
+	Observer *obs.Registry
+}
+
+// Outcome carries everything one Simulate call produced, in predictor
+// argument order.
+type Outcome struct {
+	Results []*Result
+	// Timelines is non-nil only when Options.BucketSize > 0.
+	Timelines []*Timeline
+}
+
+// Simulate drives every predictor over the trace (each predictor sees
+// the identical committed branch stream) and returns one Result — and,
+// when opts.BucketSize > 0, one Timeline — per predictor, in argument
+// order. Each predictor independently takes the columnar fast path over
+// the trace's memoized Packed view when it implements
+// bp.KernelPredictor (unless opts.ForceReference); predictors are
+// mutually independent, so engine choice and scheduling never change
+// the Outcome.
+func Simulate(t *trace.Trace, predictors []bp.Predictor, opts Options) *Outcome {
+	reg := obs.Or(opts.Observer)
+	out := &Outcome{Results: make([]*Result, len(predictors))}
+	if opts.BucketSize > 0 {
+		out.Timelines = make([]*Timeline, len(predictors))
 	}
-	out := make([]*Timeline, len(predictors))
-	for i, p := range predictors {
-		out[i] = &Timeline{Predictor: p.Name(), Bucket: bucketSize}
-	}
-	if ks, ok := kernelsOf(predictors); ok {
-		pt := t.Packed()
-		blk := fullBlock(pt)
-		// One scratch count slice serves every bucket: the timeline only
-		// needs each block's total, and kernels only ever increment.
-		scratch := make([]int32, pt.NumBranches())
-		for i, k := range ks {
-			for lo := 0; lo < pt.Len(); lo += bucketSize {
-				hi := min(lo+bucketSize, pt.Len())
-				blk.Lo, blk.Hi = lo, hi
-				c := k.SimulateBlock(blk, scratch)
-				out[i].Accuracy = append(out[i].Accuracy, float64(c)/float64(hi-lo))
-			}
-		}
+	if len(predictors) == 0 {
 		return out
 	}
-	correct := make([]int, len(predictors))
-	n := 0
-	flush := func(size int) {
-		if size == 0 {
-			return
-		}
-		for i := range predictors {
-			out[i].Accuracy = append(out[i].Accuracy, float64(correct[i])/float64(size))
-			correct[i] = 0
+	defer reg.StartSpan("sim.simulate").End()
+	one := func(i int, p bp.Predictor) {
+		r, tl := simulateOne(t, p, opts, reg)
+		out.Results[i] = r
+		if out.Timelines != nil {
+			out.Timelines[i] = tl
 		}
 	}
-	for _, rec := range t.Records() {
+	if opts.Parallel && len(predictors) > 1 {
+		cells := make([]runner.Cell, len(predictors))
 		for i, p := range predictors {
-			if p.Predict(rec) == rec.Taken {
-				correct[i]++
+			i, p := i, p
+			cells[i] = runner.Cell{
+				Exhibit:  "sim",
+				Workload: p.Name(),
+				Run: func(context.Context) error {
+					one(i, p)
+					return nil
+				},
 			}
-			p.Update(rec)
 		}
-		n++
-		if n%bucketSize == 0 {
-			flush(bucketSize)
+		err := runner.Run(context.Background(), cells, runner.Options{Parallel: len(cells)})
+		if err != nil {
+			// Unreachable: cells never fail and the context is never
+			// cancelled; a scheduler error here is a bug, not a condition.
+			panic("sim: Simulate scheduler failed: " + err.Error())
+		}
+	} else {
+		for i, p := range predictors {
+			one(i, p)
 		}
 	}
-	flush(n % bucketSize)
 	return out
 }
 
-// RunStream drives the predictors from a trace scanner, so on-disk
-// traces of any length simulate in constant memory. Results are
-// identical to Run over the equivalent in-memory trace.
-func RunStream(sc *trace.Scanner, predictors ...bp.Predictor) ([]*Result, error) {
-	results := make([]*Result, len(predictors))
-	for i, p := range predictors {
-		results[i] = newResult(p.Name(), sc.Name())
+// simulateOne runs one predictor via its best admissible engine and
+// accounts the engagement. Counter increments depend only on the
+// (trace, predictor, options) triple, so totals are deterministic at
+// any parallelism.
+func simulateOne(t *trace.Trace, p bp.Predictor, opts Options, reg *obs.Registry) (*Result, *Timeline) {
+	reg.Counter("sim.records").Add(int64(t.Len()))
+	if k, ok := p.(bp.KernelPredictor); ok && !opts.ForceReference {
+		reg.Counter("sim.runs.fastpath").Inc()
+		reg.Counter("sim.fastpath." + p.Name()).Inc()
+		return runPackedOne(t, k, opts.BucketSize)
 	}
+	reg.Counter("sim.runs.reference").Inc()
+	reg.Counter("sim.reference." + p.Name()).Inc()
+	return runReferenceOne(t, p, opts.BucketSize)
+}
+
+// runPackedOne drives one kernel predictor over the trace's memoized
+// columnar view: per-branch correct counts accumulate in a flat slice
+// indexed by dense branch ID, with no interface call or map lookup per
+// record. With bucketing the kernel replays one packed block per bucket
+// into the same count slice (kernels only ever increment), so the
+// Result and the Timeline come out of a single pass.
+func runPackedOne(t *trace.Trace, k bp.KernelPredictor, bucketSize int) (*Result, *Timeline) {
+	pt := t.Packed()
+	correct := make([]int32, pt.NumBranches())
+	blk := fullBlock(pt)
+	if bucketSize <= 0 {
+		total := k.SimulateBlock(blk, correct)
+		return resultFromCounts(k.Name(), pt, correct, total), nil
+	}
+	tl := &Timeline{Predictor: k.Name(), Bucket: bucketSize}
+	total := 0
+	for lo := 0; lo < pt.Len(); lo += bucketSize {
+		hi := min(lo+bucketSize, pt.Len())
+		blk.Lo, blk.Hi = lo, hi
+		c := k.SimulateBlock(blk, correct)
+		total += c
+		tl.Accuracy = append(tl.Accuracy, float64(c)/float64(hi-lo))
+	}
+	return resultFromCounts(k.Name(), pt, correct, total), tl
+}
+
+// runReferenceOne drives one predictor through the per-record reference
+// loop — the executable specification the columnar kernels are pinned
+// against: one Predict/Update pair and one map-based per-branch account
+// per dynamic branch, with optional bucket accounting.
+func runReferenceOne(t *trace.Trace, p bp.Predictor, bucketSize int) (*Result, *Timeline) {
+	res := newResult(p.Name(), t.Name())
+	var tl *Timeline
+	if bucketSize > 0 {
+		tl = &Timeline{Predictor: p.Name(), Bucket: bucketSize}
+	}
+	bucketCorrect, bucketN := 0, 0
+	for _, rec := range t.Records() {
+		correct := p.Predict(rec) == rec.Taken
+		p.Update(rec)
+		res.record(rec.PC, correct)
+		if tl != nil {
+			if correct {
+				bucketCorrect++
+			}
+			if bucketN++; bucketN == bucketSize {
+				tl.Accuracy = append(tl.Accuracy, float64(bucketCorrect)/float64(bucketSize))
+				bucketCorrect, bucketN = 0, 0
+			}
+		}
+	}
+	if tl != nil && bucketN > 0 {
+		tl.Accuracy = append(tl.Accuracy, float64(bucketCorrect)/float64(bucketN))
+	}
+	return res, tl
+}
+
+// SimulateScanner drives the predictors from a trace scanner, so
+// on-disk traces of any length simulate in constant memory. The single
+// streaming pass interleaves predictors record by record;
+// opts.BucketSize works as in Simulate, while opts.Parallel and
+// opts.ForceReference are moot (streaming always uses the reference
+// loop — there is no packed view to kernel over). Results are identical
+// to Simulate over the equivalent in-memory trace.
+func SimulateScanner(sc *trace.Scanner, predictors []bp.Predictor, opts Options) (*Outcome, error) {
+	reg := obs.Or(opts.Observer)
+	out := &Outcome{Results: make([]*Result, len(predictors))}
+	if opts.BucketSize > 0 {
+		out.Timelines = make([]*Timeline, len(predictors))
+	}
+	bucketCorrect := make([]int, len(predictors))
+	for i, p := range predictors {
+		out.Results[i] = newResult(p.Name(), sc.Name())
+		if out.Timelines != nil {
+			out.Timelines[i] = &Timeline{Predictor: p.Name(), Bucket: opts.BucketSize}
+		}
+	}
+	n := 0
 	for sc.Scan() {
 		rec := sc.Record()
 		for i, p := range predictors {
 			correct := p.Predict(rec) == rec.Taken
 			p.Update(rec)
-			results[i].record(rec.PC, correct)
+			out.Results[i].record(rec.PC, correct)
+			if correct {
+				bucketCorrect[i]++
+			}
+		}
+		if n++; out.Timelines != nil && n%opts.BucketSize == 0 {
+			for i := range predictors {
+				out.Timelines[i].Accuracy = append(out.Timelines[i].Accuracy,
+					float64(bucketCorrect[i])/float64(opts.BucketSize))
+				bucketCorrect[i] = 0
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return results, nil
+	if out.Timelines != nil && n%opts.BucketSize != 0 {
+		for i := range predictors {
+			out.Timelines[i].Accuracy = append(out.Timelines[i].Accuracy,
+				float64(bucketCorrect[i])/float64(n%opts.BucketSize))
+		}
+	}
+	reg.Counter("sim.records").Add(int64(n) * int64(len(predictors)))
+	for _, p := range predictors {
+		reg.Counter("sim.runs.reference").Inc()
+		reg.Counter("sim.reference." + p.Name()).Inc()
+	}
+	return out, nil
+}
+
+// Run returns one Result per predictor, in argument order.
+//
+// Deprecated: Run is Simulate with zero Options; new code should call
+// Simulate.
+func Run(t *trace.Trace, predictors ...bp.Predictor) []*Result {
+	return Simulate(t, predictors, Options{}).Results
+}
+
+// RunReference runs every predictor through the per-record reference
+// loop, the executable specification the columnar fast path is pinned
+// bit-identical to by the package's differential tests.
+//
+// Deprecated: RunReference is Simulate with Options.ForceReference; new
+// code should call Simulate.
+func RunReference(t *trace.Trace, predictors ...bp.Predictor) []*Result {
+	return Simulate(t, predictors, Options{ForceReference: true}).Results
+}
+
+// RunOne is a convenience wrapper for a single predictor.
+//
+// Deprecated: RunOne is Simulate with one predictor; new code should
+// call Simulate.
+func RunOne(t *trace.Trace, p bp.Predictor) *Result {
+	return Simulate(t, []bp.Predictor{p}, Options{}).Results[0]
+}
+
+// RunTimeline records each predictor's accuracy per bucket of
+// bucketSize dynamic branches; bucketSize must be positive.
+//
+// Deprecated: RunTimeline is Simulate with Options.BucketSize; new code
+// should call Simulate.
+func RunTimeline(t *trace.Trace, bucketSize int, predictors ...bp.Predictor) []*Timeline {
+	if bucketSize <= 0 {
+		panic("sim: bucket size must be positive")
+	}
+	return Simulate(t, predictors, Options{BucketSize: bucketSize}).Timelines
+}
+
+// RunStream drives the predictors from a trace scanner in constant
+// memory.
+//
+// Deprecated: RunStream is SimulateScanner with zero Options; new code
+// should call SimulateScanner.
+func RunStream(sc *trace.Scanner, predictors ...bp.Predictor) ([]*Result, error) {
+	out, err := SimulateScanner(sc, predictors, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return out.Results, nil
 }
 
 // RunConcurrent behaves exactly like Run but fans the predictors out
-// across the runner worker pool, one cell per predictor (predictors are
-// independent, the trace is read-only). Each cell takes the same
-// per-predictor path Run would — columnar kernel or reference loop — so
-// Results are bit-identical to Run's; use it when simulating several
-// expensive predictors over a long trace.
+// across the runner worker pool.
+//
+// Deprecated: RunConcurrent is Simulate with Options.Parallel; new code
+// should call Simulate.
 func RunConcurrent(t *trace.Trace, predictors ...bp.Predictor) []*Result {
-	results := make([]*Result, len(predictors))
-	cells := make([]runner.Cell, len(predictors))
-	for i, p := range predictors {
-		i, p := i, p
-		cells[i] = runner.Cell{
-			Exhibit:  "sim",
-			Workload: p.Name(),
-			Run: func(context.Context) error {
-				if k, ok := p.(bp.KernelPredictor); ok {
-					results[i] = runPackedOne(t, k)
-				} else {
-					results[i] = runReferenceOne(t, p)
-				}
-				return nil
-			},
-		}
-	}
-	err := runner.Run(context.Background(), cells, runner.Options{Parallel: len(cells)})
-	if err != nil {
-		// Unreachable: cells never fail and the context is never
-		// cancelled; a scheduler error here is a bug, not a condition.
-		panic("sim: RunConcurrent scheduler failed: " + err.Error())
-	}
-	return results
+	return Simulate(t, predictors, Options{Parallel: true}).Results
 }
 
 // CombineMax builds the paper's hypothetical per-branch combiner: for

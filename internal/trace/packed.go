@@ -1,5 +1,7 @@
 package trace
 
+import "branchcorr/internal/obs"
+
 // Packed is a columnar (structure-of-arrays) view of a Trace, built once
 // and shared by analyses whose inner loops would otherwise pay per-record
 // struct loads and per-address map lookups:
@@ -15,9 +17,9 @@ package trace
 // experiment suite memoizes one Packed per trace (sync.Once) and hands it
 // to every oracle pass.
 type Packed struct {
-	name  string
-	ids   []int32 // dense branch ID per dynamic record
-	addrs []Addr  // ID -> static branch address, first-appearance order
+	name   string
+	ids    []int32 // dense branch ID per dynamic record
+	addrs  []Addr  // ID -> static branch address, first-appearance order
 	idOf   map[Addr]int32
 	counts []int32  // ID -> number of dynamic records (occurrences)
 	taken  []uint64 // bit i = record i resolved taken
@@ -26,8 +28,12 @@ type Packed struct {
 
 // Pack builds the columnar view of t in one linear pass. Dense IDs are
 // assigned in order of first appearance, so packing is deterministic for
-// a given trace.
+// a given trace. Every build is accounted into the default registry
+// (counter trace.pack.builds, span trace.pack), surfacing redundant
+// packing that the Trace.Packed memo exists to avoid.
 func Pack(t *Trace) *Packed {
+	obs.Default().Counter("trace.pack.builds").Inc()
+	defer obs.Default().StartSpan("trace.pack").End()
 	recs := t.Records()
 	words := (len(recs) + 63) / 64
 	p := &Packed{

@@ -12,6 +12,8 @@ package trace
 import (
 	"fmt"
 	"sync"
+
+	"branchcorr/internal/obs"
 )
 
 // Addr identifies a static branch site. It plays the role of the branch
@@ -93,7 +95,10 @@ func (t *Trace) Append(r Record) { t.records = append(t.records, r) }
 func (t *Trace) Packed() *Packed {
 	t.packMu.Lock()
 	defer t.packMu.Unlock()
+	reg := obs.Default()
+	reg.Counter("trace.pack.memo.calls").Inc()
 	if t.packed == nil || t.packed.Len() != len(t.records) {
+		reg.Counter("trace.pack.memo.misses").Inc()
 		t.packed = Pack(t)
 	}
 	return t.packed
