@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race shuffle cover lint bench bench-oracle bench-sim
+.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -24,8 +24,25 @@ shuffle:
 cover:
 	$(GO) test -cover ./...
 
+# lint runs the full analyzer suite against the committed grandfather
+# list; only findings beyond lint/baseline.json fail.
 lint:
-	$(GO) run ./cmd/bplint ./...
+	$(GO) run ./cmd/bplint -baseline lint/baseline.json ./...
+
+# lint-fix applies every mechanical suggested fix (deprecated-API
+# rewrites, stale-ignore deletions) in place, then reports what remains.
+lint-fix:
+	$(GO) run ./cmd/bplint -baseline lint/baseline.json -fix ./...
+
+# lint-sarif emits the machine-readable report CI uploads as an artifact.
+lint-sarif:
+	$(GO) run ./cmd/bplint -baseline lint/baseline.json -format sarif ./... > bplint.sarif || true
+
+# baseline regenerates lint/baseline.json from the current tree. Run it
+# only when deliberately grandfathering new debt or after burning
+# baselined findings down.
+baseline:
+	$(GO) run ./cmd/bplint -baseline lint/baseline.json -update-baseline ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

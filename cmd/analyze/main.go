@@ -49,7 +49,7 @@ func main() {
 		tr.Name(), stats.Dynamic, stats.Static, 100*stats.TakenRate())
 
 	// 1. Accuracy landscape.
-	rs := sim.Run(tr,
+	rs := sim.Simulate(tr, []bp.Predictor{
 		bp.NewIdealStatic(stats),
 		bp.NewBimodal(14),
 		bp.NewGshare(16),
@@ -57,7 +57,7 @@ func main() {
 		bp.NewIFGshare(16),
 		bp.NewIFPAs(16),
 		bp.NewHybrid(bp.NewGshare(16), bp.NewPAs(12, 10, 6), 12),
-	)
+	}, sim.Options{}).Results
 	fmt.Fprintln(w, "predictor accuracies:")
 	for _, r := range rs {
 		fmt.Fprintf(w, "  %-42s %8.4f%%\n", r.Predictor, 100*r.Accuracy())
@@ -101,7 +101,7 @@ func main() {
 		*top = len(hardest)
 	}
 	sels := core.BuildSelective(tr, core.OracleConfig{})
-	sel3 := sim.RunOne(tr, core.NewSelective("sel3", 16, sels.BySize[3]))
+	sel3 := sim.Simulate(tr, []bp.Predictor{core.NewSelective("sel3", 16, sels.BySize[3])}, sim.Options{}).Results[0]
 	fmt.Fprintf(w, "\nhardest %d branches under gshare, with oracle-selected correlations:\n", *top)
 	for _, h := range hardest[:*top] {
 		fmt.Fprintf(w, "  0x%08x: gshare %.2f%%, class %s, 3-ref selective %.2f%% via",
@@ -116,7 +116,7 @@ func main() {
 	// 5. Warmup behavior: accuracy over time.
 	bucket := tr.Len() / 16
 	if bucket > 0 {
-		tls := sim.RunTimeline(tr, bucket, bp.NewGshare(16), bp.NewBimodal(14))
+		tls := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(16), bp.NewBimodal(14)}, sim.Options{BucketSize: bucket}).Timelines
 		xs := make([]float64, len(tls[0].Accuracy))
 		ys := make([][]float64, len(tls))
 		names := make([]string, len(tls))

@@ -1,7 +1,7 @@
 // Command bplint runs the repo's custom static-analysis suite (see
-// internal/lint and DESIGN.md §"Static analysis & invariants") over the
-// module and reports violations of the determinism, predictor-contract,
-// counter-hygiene, and I/O-discipline invariants.
+// internal/lint and DESIGN.md §"Static analysis") over the module and
+// reports violations of the determinism, predictor-contract,
+// counter-hygiene, I/O-discipline, and kernel hot-path invariants.
 //
 // Usage:
 //
@@ -9,10 +9,23 @@
 //	bplint ./internal/...             # one subtree
 //	bplint -rules det-time,det-rand ./...
 //	bplint -list                      # describe every rule
+//	bplint -format sarif ./...        # machine-readable output
+//	bplint -fix ./...                 # apply suggested fixes, report the rest
+//	bplint -baseline lint/baseline.json ./...
+//	bplint -baseline lint/baseline.json -update-baseline ./...
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings
-// print as "file:line: [rule-id] message" and can be suppressed with a
-// "//bplint:ignore rule-id" comment on or above the offending line.
+// Analysis runs across a worker pool (-parallel, default GOMAXPROCS);
+// output is byte-identical at every parallelism level.
+//
+// With -baseline, grandfathered findings are reported but don't fail the
+// run; new findings do, as do baseline entries that no longer occur
+// (burned-down debt — regenerate with -update-baseline).
+//
+// Exit status: 0 clean, 1 findings (or stale baseline), 2 usage or load
+// error. Findings print as "file:line: [rule-id] message" and can be
+// suppressed with a "//bplint:ignore rule-id reason" comment on or above
+// the offending line; the ignore-reason rule rejects unjustified or
+// stale suppressions.
 package main
 
 import (
@@ -27,8 +40,13 @@ import (
 
 func main() {
 	var (
-		rules = flag.String("rules", "all", "comma-separated rule ids to run (see -list)")
-		list  = flag.Bool("list", false, "list rules and exit")
+		rules    = flag.String("rules", "all", "comma-separated rule ids to run (see -list)")
+		list     = flag.Bool("list", false, "list rules and exit")
+		format   = flag.String("format", "text", "output format: text, json, or sarif")
+		parallel = flag.Int("parallel", 0, "analysis worker count (0 = GOMAXPROCS)")
+		fix      = flag.Bool("fix", false, "apply suggested fixes in place, then re-check")
+		baseline = flag.String("baseline", "", "baseline file grandfathering known findings")
+		update   = flag.Bool("update-baseline", false, "rewrite the -baseline file from current findings")
 	)
 	flag.Parse()
 
@@ -47,21 +65,95 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := lint.Load(root)
-	if err != nil {
-		fatal(err)
+	run := func() ([]lint.Finding, error) {
+		pkgs, err := lint.Load(root)
+		if err != nil {
+			return nil, err
+		}
+		pkgs, err = filterPackages(pkgs, root, flag.Args())
+		if err != nil {
+			return nil, err
+		}
+		return lint.RunParallel(pkgs, selected, lint.RunOptions{Parallel: *parallel}), nil
 	}
-	pkgs, err = filterPackages(pkgs, root, flag.Args())
+
+	findings, err := run()
 	if err != nil {
 		fatal(err)
 	}
 
-	findings := lint.Run(pkgs, selected)
-	for _, f := range findings {
-		fmt.Println(shorten(f, root))
+	if *fix {
+		changed, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fatal(err)
+		}
+		for _, file := range changed {
+			fmt.Fprintf(os.Stderr, "bplint: fixed %s\n", relTo(root, file))
+		}
+		// Fixes invalidate positions and may unlock further fixes (or
+		// have been skipped as overlapping); re-analyze until quiescent.
+		for rounds := 0; len(changed) > 0 && rounds < 8; rounds++ {
+			if findings, err = run(); err != nil {
+				fatal(err)
+			}
+			if changed, err = lint.ApplyFixes(findings); err != nil {
+				fatal(err)
+			}
+			for _, file := range changed {
+				fmt.Fprintf(os.Stderr, "bplint: fixed %s\n", relTo(root, file))
+			}
+		}
+		if findings, err = run(); err != nil {
+			fatal(err)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "bplint: %d finding(s)\n", len(findings))
+
+	if *update {
+		if *baseline == "" {
+			fatal(fmt.Errorf("-update-baseline requires -baseline"))
+		}
+		if err := lint.NewBaseline(findings, root).Save(*baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bplint: baseline %s updated (%d finding(s))\n", *baseline, len(findings))
+		return
+	}
+
+	report := findings
+	var stale []lint.BaselineEntry
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		report, stale = base.Diff(findings, root)
+	}
+
+	switch *format {
+	case "text":
+		err = lint.WriteText(os.Stdout, report, root)
+	case "json":
+		err = lint.WriteJSON(os.Stdout, report, root)
+	case "sarif":
+		err = lint.WriteSARIF(os.Stdout, report, selected, root)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (text, json, sarif)", *format))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	if len(report) > 0 {
+		fmt.Fprintf(os.Stderr, "bplint: %d finding(s)\n", len(report))
+		failed = true
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "bplint: stale baseline entry %s [%s] %s — regenerate with -update-baseline\n",
+			e.File, e.Rule, e.Msg)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
@@ -123,12 +215,12 @@ func filterPackages(pkgs []*lint.Package, root string, patterns []string) ([]*li
 	return out, nil
 }
 
-// shorten prints the finding with a module-root-relative path.
-func shorten(f lint.Finding, root string) string {
-	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		f.Pos.Filename = rel
+// relTo shortens an absolute path to the module root when possible.
+func relTo(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
-	return f.String()
+	return file
 }
 
 func fatal(err error) {

@@ -28,7 +28,7 @@ func main() {
 	tr := w.Generate(300_000)
 
 	// Baseline: which branches does gshare struggle with?
-	gshare := sim.RunOne(tr, bp.NewGshare(16))
+	gshare := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(16)}, sim.Options{}).Results[0]
 	type hard struct {
 		pc     trace.Addr
 		misses int
@@ -51,11 +51,7 @@ func main() {
 	sels := core.BuildSelective(tr, ocfg)
 
 	// Simulate the selective predictors the selections define.
-	rs := sim.Run(tr,
-		core.NewSelective("sel1", 16, sels.BySize[1]),
-		core.NewSelective("sel2", 16, sels.BySize[2]),
-		core.NewSelective("sel3", 16, sels.BySize[3]),
-	)
+	rs := sim.Simulate(tr, []bp.Predictor{core.NewSelective("sel1", 16, sels.BySize[1]), core.NewSelective("sel2", 16, sels.BySize[2]), core.NewSelective("sel3", 16, sels.BySize[3])}, sim.Options{}).Results
 
 	fmt.Println("hardest gcc branches under gshare(16), and their oracle-selected correlations:")
 	for _, h := range hardest[:5] {

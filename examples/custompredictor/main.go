@@ -87,7 +87,7 @@ func main() {
 		}
 		tr := w.Generate(300_000)
 		for _, bits := range []uint{8, 10, 12} {
-			rs := sim.Run(tr, bp.NewGshare(bits), NewAgree(bits), bp.NewIFGshare(bits))
+			rs := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(bits), NewAgree(bits), bp.NewIFGshare(bits)}, sim.Options{}).Results
 			fmt.Printf("%-10s %8d %11.3f%% %11.3f%% %11.3f%%\n",
 				name, 1<<bits, 100*rs[0].Accuracy(), 100*rs[1].Accuracy(), 100*rs[2].Accuracy())
 		}

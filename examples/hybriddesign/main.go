@@ -35,9 +35,9 @@ func main() {
 		100*cl.StaticHighBiasFrac())
 
 	// Step 2: do branches prefer global or per-address prediction (§5)?
-	rs := sim.Run(tr, bp.NewGshare(14), bp.NewPAs(12, 10, 6))
+	rs := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(14), bp.NewPAs(12, 10, 6)}, sim.Options{}).Results
 	gshare, pas := rs[0], rs[1]
-	split := core.SplitBest(stats, sim.RunOne(tr, bp.NewIdealStatic(stats)),
+	split := core.SplitBest(stats, sim.Simulate(tr, []bp.Predictor{bp.NewIdealStatic(stats)}, sim.Options{}).Results[0],
 		func(pc trace.Addr) int { return gshare.Branch(pc).Correct },
 		func(pc trace.Addr) int { return pas.Branch(pc).Correct },
 		0.99)
@@ -57,7 +57,7 @@ func main() {
 		bp.NewHybrid(bp.NewGshare(14), bp.NewPAs(12, 10, 6), 12),
 		bp.NewHybrid(bp.NewGshare(14), bp.NewHybrid(bp.NewPAs(12, 10, 6), bp.NewLoop(), 12), 12),
 	} {
-		r := sim.RunOne(tr, p)
+		r := sim.Simulate(tr, []bp.Predictor{p}, sim.Options{}).Results[0]
 		fmt.Printf("  %-55s %8.4f%%\n", r.Predictor, 100*r.Accuracy())
 	}
 	fmt.Println("\nthe two-level hybrid with a loop side exploits exactly the loop-class")

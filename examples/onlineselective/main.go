@@ -29,11 +29,7 @@ func main() {
 		tr := w.Generate(200_000)
 
 		sels := core.BuildSelective(tr, core.OracleConfig{WindowLen: 16})
-		rs := sim.Run(tr,
-			bp.NewGshare(16),
-			core.NewOnlineSelective(3, 16, 256),
-			core.NewSelective("oracle-sel3", 16, sels.BySize[3]),
-		)
+		rs := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(16), core.NewOnlineSelective(3, 16, 256), core.NewSelective("oracle-sel3", 16, sels.BySize[3])}, sim.Options{}).Results
 		gshare, online, oracle := rs[0].Accuracy(), rs[1].Accuracy(), rs[2].Accuracy()
 		recovered := "-"
 		if oracle > gshare {
@@ -54,7 +50,7 @@ func main() {
 	// Peek inside: what did the oracle pick for gcc's hardest branch?
 	w, _ := workloads.ByName("gcc")
 	tr := w.Generate(200_000)
-	g := sim.RunOne(tr, bp.NewGshare(16))
+	g := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(16)}, sim.Options{}).Results[0]
 	var worst trace.Addr
 	worstMiss := -1
 	pcs := make([]trace.Addr, 0, len(g.PerBranch))

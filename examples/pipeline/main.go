@@ -28,7 +28,7 @@ func main() {
 		bp.NewGshare(16),
 		bp.NewHybrid(bp.NewGshare(16), bp.NewPAs(12, 10, 6), 12),
 	}
-	results := sim.Run(tr, predictors...)
+	results := sim.Simulate(tr, predictors, sim.Options{}).Results
 
 	era := perfmodel.DefaultMachine // 1998-era: 5-cycle flush
 	deep := perfmodel.Deep          // deep pipeline: 18-cycle flush

@@ -39,7 +39,7 @@ func main() {
 
 	// 3. One pass over the trace drives them all and accounts accuracy
 	// overall and per static branch.
-	results := sim.Run(tr, predictors...)
+	results := sim.Simulate(tr, predictors, sim.Options{}).Results
 	for _, r := range results {
 		fmt.Printf("%-40s %8.4f%%\n", r.Predictor, 100*r.Accuracy())
 	}

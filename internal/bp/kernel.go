@@ -132,8 +132,9 @@ func (p *GAs) SimulateBlock(blk KernelBlock, correct []int32) int {
 	// selected table by global history with no per-record bank select.
 	tables := make([][]Counter2, len(blk.Addrs))
 	pcx := pcxOf(blk.Addrs)
+	phts := p.phts
 	for id := range tables {
-		tables[id] = p.phts[pcx[id]&p.addrMask]
+		tables[id] = phts[pcx[id]&p.addrMask]
 	}
 	hmask := p.histMask
 	taken := blk.Taken
@@ -164,9 +165,10 @@ func (p *PAs) SimulateBlock(blk KernelBlock, correct []int32) int {
 	pcx := pcxOf(blk.Addrs)
 	bhtIdx := make([]uint32, len(blk.Addrs))
 	tables := make([][]Counter2, len(blk.Addrs))
+	phts := p.phts
 	for id := range pcx {
 		bhtIdx[id] = pcx[id] & p.bhtMask
-		tables[id] = p.phts[pcx[id]&p.phtMask]
+		tables[id] = phts[pcx[id]&p.phtMask]
 	}
 	bht := p.bht
 	bmask := uint32(len(bht) - 1)
@@ -192,10 +194,11 @@ func (p *PAs) SimulateBlock(blk KernelBlock, correct []int32) int {
 
 // SimulateBlock implements KernelPredictor.
 func (AlwaysTaken) SimulateBlock(blk KernelBlock, correct []int32) int {
+	ids := blk.IDs
 	total := 0
 	for i := blk.Lo; i < blk.Hi; i++ {
 		if blk.takenBit(i) != 0 {
-			correct[blk.IDs[i]]++
+			correct[ids[i]]++
 			total++
 		}
 	}
@@ -204,10 +207,11 @@ func (AlwaysTaken) SimulateBlock(blk KernelBlock, correct []int32) int {
 
 // SimulateBlock implements KernelPredictor.
 func (AlwaysNotTaken) SimulateBlock(blk KernelBlock, correct []int32) int {
+	ids := blk.IDs
 	total := 0
 	for i := blk.Lo; i < blk.Hi; i++ {
 		if blk.takenBit(i) == 0 {
-			correct[blk.IDs[i]]++
+			correct[ids[i]]++
 			total++
 		}
 	}
@@ -216,10 +220,11 @@ func (AlwaysNotTaken) SimulateBlock(blk KernelBlock, correct []int32) int {
 
 // SimulateBlock implements KernelPredictor.
 func (BTFNT) SimulateBlock(blk KernelBlock, correct []int32) int {
+	ids := blk.IDs
 	total := 0
 	for i := blk.Lo; i < blk.Hi; i++ {
 		if blk.takenBit(i) == blk.backBit(i) {
-			correct[blk.IDs[i]]++
+			correct[ids[i]]++
 			total++
 		}
 	}
@@ -232,14 +237,15 @@ func (p *IdealStatic) SimulateBlock(blk KernelBlock, correct []int32) int {
 	// (branches absent from the profile predict taken, as in Predict).
 	pred := make([]uint64, len(blk.Addrs))
 	for id, a := range blk.Addrs {
-		dir, ok := p.majority[a]
+		dir, ok := p.majority[a] //bplint:ignore kernel-purity profile resolve runs once per static branch, not per record
 		if !ok || dir {
 			pred[id] = 1
 		}
 	}
+	ids := blk.IDs
 	total := 0
 	for i := blk.Lo; i < blk.Hi; i++ {
-		id := blk.IDs[i]
+		id := ids[i]
 		if pred[id] == blk.takenBit(i) {
 			correct[id]++
 			total++
@@ -258,17 +264,18 @@ func (p *IFGshare) SimulateBlock(blk KernelBlock, correct []int32) int {
 		keyHi[id] = uint64(a) << 32
 	}
 	h := p.history
+	ids := blk.IDs
 	total := 0
 	for i := blk.Lo; i < blk.Hi; i++ {
-		id := blk.IDs[i]
+		id := ids[i]
 		t := blk.takenBit(i)
 		k := keyHi[id] | uint64(h)
-		c := p.counters[k]
+		c := p.counters[k] //bplint:ignore kernel-purity interference-free tables are maps by design: unbounded per-(address,history) state has no dense index
 		if uint64(c>>1) == t {
 			correct[id]++
 			total++
 		}
-		p.counters[k] = counterNext[t][c]
+		p.counters[k] = counterNext[t][c] //bplint:ignore kernel-purity interference-free tables are maps by design: unbounded per-(address,history) state has no dense index
 		h = (h<<1 | uint32(t)) & p.histMask
 	}
 	p.history = h
@@ -285,23 +292,24 @@ func (p *IFPAs) SimulateBlock(blk KernelBlock, correct []int32) int {
 	hist := make([]uint32, len(blk.Addrs))
 	for id, a := range blk.Addrs {
 		keyHi[id] = uint64(a) << 32
-		hist[id] = p.hist[a]
+		hist[id] = p.hist[a] //bplint:ignore kernel-purity history registers load once per static branch into a dense slice, not per record
 	}
+	ids := blk.IDs
 	total := 0
 	for i := blk.Lo; i < blk.Hi; i++ {
-		id := blk.IDs[i]
+		id := ids[i]
 		t := blk.takenBit(i)
 		k := keyHi[id] | uint64(hist[id]&p.histMask)
-		c := p.counters[k]
+		c := p.counters[k] //bplint:ignore kernel-purity interference-free tables are maps by design: unbounded per-(address,history) state has no dense index
 		if uint64(c>>1) == t {
 			correct[id]++
 			total++
 		}
-		p.counters[k] = counterNext[t][c]
+		p.counters[k] = counterNext[t][c] //bplint:ignore kernel-purity interference-free tables are maps by design: unbounded per-(address,history) state has no dense index
 		hist[id] = (hist[id]<<1)&p.histMask | uint32(t)
 	}
 	for id, a := range blk.Addrs {
-		p.hist[a] = hist[id]
+		p.hist[a] = hist[id] //bplint:ignore kernel-purity per-branch history writeback runs once per static branch at block end
 	}
 	return total
 }

@@ -55,29 +55,33 @@ func TestParseEveryKnownSpec(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	// Every failure must be a *ParseError of the expected kind naming the
-	// offending token.
+	// offending token, with Spec echoing the spec being parsed when the
+	// failure hit — the full string, except for hybrids, where a failing
+	// sub-spec surfaces as its own Spec (the documented contract).
 	bad := []struct {
 		spec      string
 		wantKind  ErrKind
+		wantSpec  string
 		wantToken string
 	}{
-		{"", ErrUnknownName, ""},
-		{"nope", ErrUnknownName, "nope"},
-		{"gshare", ErrBadParam, ""},                                          // missing args
-		{"gshare:", ErrBadParam, ""},                                         // empty args
-		{"gshare:x", ErrBadParam, "x"},                                       // non-numeric
-		{"gshare:16,2", ErrBadParam, "16,2"},                                 // too many args
-		{"pas:12", ErrBadParam, "12"},                                        // too few args
-		{"gshare:999", ErrBadParam, "999"},                                   // out of range
-		{"hybrid:gshare:8", ErrBadParam, "gshare:8"},                         // missing parens
-		{"hybrid:(gshare:8),(loop)", ErrBadParam, ""},                        // missing bits
-		{"hybrid:((gshare:8),(loop),4", ErrBadParam, "((gshare:8),(loop),4"}, // unbalanced
-		{"hybrid:(gshare:8),(loop),x", ErrBadParam, "x"},                     // bad bits
-		{"hybrid:(nope),(loop),4", ErrUnknownName, "nope"},                   // bad inner spec
-		{"hybrid:(loop),(nope),4", ErrUnknownName, "nope"},                   // bad inner spec (second)
-		{"tage:3", ErrBadParam, "3"},                                         // tage takes no args
-		{"ideal-static", ErrMissingContext, "ideal-static"},                  // needs stats
-		{"profiled-gshare:16", ErrMissingContext, "profiled-gshare"},         // needs trace
+		{"", ErrUnknownName, "", ""},
+		{"nope", ErrUnknownName, "nope", "nope"},
+		{"gshare", ErrBadParam, "gshare", ""},                                                               // missing args
+		{"gshare:", ErrBadParam, "gshare:", ""},                                                             // empty args
+		{"gshare:x", ErrBadParam, "gshare:x", "x"},                                                          // non-numeric
+		{"gshare:16,2", ErrBadParam, "gshare:16,2", "16,2"},                                                 // too many args
+		{"pas:12", ErrBadParam, "pas:12", "12"},                                                             // too few args
+		{"gshare:999", ErrBadParam, "gshare:999", "999"},                                                    // out of range
+		{"hybrid:gshare:8", ErrBadParam, "hybrid:gshare:8", "gshare:8"},                                     // missing parens
+		{"hybrid:(gshare:8),(loop)", ErrBadParam, "hybrid:(gshare:8),(loop)", ""},                           // missing bits
+		{"hybrid:((gshare:8),(loop),4", ErrBadParam, "hybrid:((gshare:8),(loop),4", "((gshare:8),(loop),4"}, // unbalanced
+		{"hybrid:(gshare:8),(loop),x", ErrBadParam, "hybrid:(gshare:8),(loop),x", "x"},                      // bad bits
+		{"hybrid:(nope),(loop),4", ErrUnknownName, "nope", "nope"},                                          // bad inner spec
+		{"hybrid:(loop),(nope),4", ErrUnknownName, "nope", "nope"},                                          // bad inner spec (second)
+		{"hybrid:(ideal-static),(loop),4", ErrMissingContext, "ideal-static", "ideal-static"},               // inner needs stats
+		{"tage:3", ErrBadParam, "tage:3", "3"},                                                              // tage takes no args
+		{"ideal-static", ErrMissingContext, "ideal-static", "ideal-static"},                                 // needs stats
+		{"profiled-gshare:16", ErrMissingContext, "profiled-gshare:16", "profiled-gshare"},                  // needs trace
 	}
 	for _, c := range bad {
 		_, err := Parse(c.spec, Env{})
@@ -93,8 +97,14 @@ func TestParseErrors(t *testing.T) {
 		if pe.Kind != c.wantKind {
 			t.Errorf("Parse(%q) kind = %v, want %v (err: %v)", c.spec, pe.Kind, c.wantKind, err)
 		}
+		if pe.Spec != c.wantSpec {
+			t.Errorf("Parse(%q) spec = %q, want %q (err: %v)", c.spec, pe.Spec, c.wantSpec, err)
+		}
 		if pe.Token != c.wantToken {
 			t.Errorf("Parse(%q) token = %q, want %q (err: %v)", c.spec, pe.Token, c.wantToken, err)
+		}
+		if pe.Kind != ErrUnknownName && pe.Reason == "" {
+			t.Errorf("Parse(%q) has empty Reason", c.spec)
 		}
 	}
 	// The Error text keeps the words callers and operators grep for.
@@ -115,8 +125,13 @@ func TestParseAll(t *testing.T) {
 	}
 	_, err = ParseAll([]string{"gshare:12", "nope"}, Env{})
 	var pe *ParseError
-	if !errors.As(err, &pe) || pe.Kind != ErrUnknownName || pe.Token != "nope" {
+	if !errors.As(err, &pe) || pe.Kind != ErrUnknownName || pe.Spec != "nope" || pe.Token != "nope" {
 		t.Fatalf("ParseAll bad spec: err = %v", err)
+	}
+	// The first failure wins even when a later spec is also bad.
+	_, err = ParseAll([]string{"gshare:x", "nope"}, Env{})
+	if !errors.As(err, &pe) || pe.Kind != ErrBadParam || pe.Spec != "gshare:x" || pe.Token != "x" {
+		t.Fatalf("ParseAll first-failure: err = %v", err)
 	}
 }
 

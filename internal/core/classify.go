@@ -130,12 +130,12 @@ func (c ClassifyConfig) withDefaults() ClassifyConfig {
 func ClassifyPerAddress(t *trace.Trace, cfg ClassifyConfig) *PAClassification {
 	cfg = cfg.withDefaults()
 	stats := trace.Summarize(t)
-	results := sim.Run(t,
+	results := sim.Simulate(t, []bp.Predictor{
 		bp.NewIdealStatic(stats),
 		bp.NewLoop(),
 		bp.NewBlock(),
 		bp.NewIFPAs(cfg.IFPAsHistoryBits),
-	)
+	}, sim.Options{}).Results
 	sweep := bp.NewFixedKSweep()
 	for _, r := range t.Records() {
 		sweep.Observe(r)

@@ -1,0 +1,65 @@
+// Runtime allocation gate for the oracle's columnar hot path,
+// cross-checking the bplint kernel-purity analysis of the
+// //bplint:hot-annotated stream functions. The per-record machinery —
+// window emission and beam-state collection — must be allocation-free
+// once its epoch scratch and key buffer exist; only the amortized miss
+// paths (candidate-table growth, watermark prunes) and the once-per-
+// branch scoring setup may allocate, and those carry justified
+// //bplint:ignore directives in oracle_kernel.go.
+package core
+
+import "testing"
+
+// TestOracleEmitterAllocs pins oracleEmitter.emit at zero allocations:
+// the key buffer is preallocated to the 2-refs-per-entry worst case, so
+// no window position may grow it.
+func TestOracleEmitterAllocs(t *testing.T) {
+	tr := randomTrace(7, 30_000, 48)
+	pt := tr.Packed()
+	for _, windowLen := range []int{4, 16, 32} {
+		em := newOracleEmitter(pt, windowLen)
+		for i := 0; i < tr.Len(); i++ {
+			em.emit(i)
+		}
+		allocs := testing.AllocsPerRun(200, func() { em.emit(tr.Len() / 2) })
+		if allocs != 0 {
+			t.Errorf("window %d: emit allocates %.1f per call, want 0", windowLen, allocs)
+		}
+	}
+}
+
+// TestCollectStreamAllocs pins the pass-2/3 collection loop's steady
+// state: with every instance matrix preallocated to its branch's
+// dynamic count (as newBeamMatcher sizes it), replaying the stream over
+// reset matrices allocates nothing per record.
+func TestCollectStreamAllocs(t *testing.T) {
+	tr := randomTrace(7, 30_000, 48)
+	pt := tr.Packed()
+	cfg := OracleConfig{WindowLen: 8}.withDefaults()
+	cands := ProfileCandidatesPacked(pt, cfg)
+	matchers := make([]*beamMatcher, pt.NumBranches())
+	var all []*beamMatcher
+	for pc, c := range cands {
+		if len(c.Refs) == 0 {
+			continue
+		}
+		if rid, ok := pt.IDOf(pc); ok {
+			bm := newBeamMatcher(pt, c.Refs, c.Total)
+			matchers[rid] = bm
+			all = append(all, bm)
+		}
+	}
+	em := newOracleEmitter(pt, cfg.WindowLen)
+	collectStream(pt, em, matchers) // warm the emitter scratch
+	allocs := testing.AllocsPerRun(3, func() {
+		for _, bm := range all {
+			bm.m.vecs = bm.m.vecs[:0]
+			bm.m.outs = bm.m.outs[:0]
+			bm.m.n = 0
+		}
+		collectStream(pt, em, matchers)
+	})
+	if allocs != 0 {
+		t.Errorf("collectStream allocates %.1f per full replay, want 0", allocs)
+	}
+}

@@ -118,6 +118,8 @@ func newOracleEmitter(pt *trace.Packed, windowLen int) *oracleEmitter {
 // happens before the occurrence count update, backward refs dedup within
 // one iteration segment, and both counters saturate exactly like the
 // reference's uint8 arithmetic.
+//
+//bplint:hot
 func (e *oracleEmitter) emit(i int) {
 	e.keys = e.keys[:0]
 	e.gen++
@@ -128,6 +130,7 @@ func (e *oracleEmitter) emit(i int) {
 		lo = 0
 	}
 	ids := e.pt.IDs()
+	scratch := e.scratch
 	for p := i - 1; p >= lo; p-- {
 		rid := ids[p]
 		tb := uint64(0)
@@ -135,7 +138,7 @@ func (e *oracleEmitter) emit(i int) {
 		if tk {
 			tb = refKeyTakenBit
 		}
-		sc := &e.scratch[rid]
+		sc := &scratch[rid]
 		var o uint8
 		if sc.occGen == e.gen {
 			o = sc.occCnt
@@ -191,11 +194,13 @@ const candTableInitSlots = 16
 // probe returns the slot holding key, or the first empty slot of its
 // probe chain.
 func (t *candTable) probe(key uint64) int {
-	mask := uint64(len(t.slots) - 1)
+	slots := t.slots
+	cands := t.cands
+	mask := uint64(len(slots) - 1)
 	h := (key * 0x9E3779B97F4A7C15) >> t.shift
 	for {
-		s := t.slots[h]
-		if s < 0 || t.cands[s].key == key {
+		s := slots[h]
+		if s < 0 || cands[s].key == key {
 			return int(h)
 		}
 		h = (h + 1) & mask
@@ -253,13 +258,15 @@ func (t *candTable) prune(maxKeep int, addrs []trace.Addr) {
 // rebuild re-inserts every candidate into a fresh slot array of the
 // given power-of-two size.
 func (t *candTable) rebuild(size int) {
-	t.slots = make([]int32, size)
-	for i := range t.slots {
-		t.slots[i] = -1
+	slots := make([]int32, size)
+	for i := range slots {
+		slots[i] = -1
 	}
+	t.slots = slots
 	t.shift = 64 - uint(bits.TrailingZeros(uint(size)))
-	for i := range t.cands {
-		t.slots[t.probe(t.cands[i].key)] = int32(i)
+	cands := t.cands
+	for i := range cands {
+		slots[t.probe(cands[i].key)] = int32(i)
 	}
 }
 
@@ -288,45 +295,12 @@ func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]
 	defer reg.StartSpan("core.oracle.profile").End()
 	nb := pt.NumBranches()
 	addrs := pt.Addrs()
-	ids := pt.IDs()
 	profiles := make([]kernelProfile, nb)
 	for id := range profiles {
 		profiles[id].tab.init()
 	}
 	em := newOracleEmitter(pt, cfg.WindowLen)
-	allowOcc := cfg.schemeAllowed(Occurrence)
-	allowBack := cfg.schemeAllowed(BackwardCount)
-	for i := range ids {
-		p := &profiles[ids[i]]
-		out := uint32(1)
-		if pt.Taken(i) {
-			out = 0
-		}
-		p.total[out]++
-		em.emit(i)
-		tab := &p.tab
-		for _, key := range em.keys {
-			if key&refKeySchemeBit != 0 {
-				if !allowBack {
-					continue
-				}
-			} else if !allowOcc {
-				continue
-			}
-			cell := out
-			if key&refKeyTakenBit == 0 {
-				cell += 2 // state = not-taken
-			}
-			key &^= refKeyTakenBit
-			// Hand-inlined table hit path; misses take the insert call.
-			h := tab.probe(key)
-			if s := tab.slots[h]; s >= 0 {
-				tab.cands[s].cnt[cell]++
-			} else {
-				tab.insert(h, key, cell, cfg.MaxCandidates, addrs)
-			}
-		}
-	}
+	profileStream(pt, em, profiles, cfg, addrs)
 
 	result := make(map[trace.Addr]*Candidates, nb)
 	var scratch []scoredRef
@@ -353,6 +327,48 @@ func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]
 	reg.Counter("core.oracle.prune.events").Add(prunes)
 	reg.Counter("core.oracle.candidates").Add(occupancy)
 	return result
+}
+
+// profileStream is pass 1's per-record loop: emit the window at every
+// trace position and count each emitted candidate into the branch's
+// flat table, hand-inlining the table hit path.
+//
+//bplint:hot
+func profileStream(pt *trace.Packed, em *oracleEmitter, profiles []kernelProfile, cfg OracleConfig, addrs []trace.Addr) {
+	allowOcc := cfg.schemeAllowed(Occurrence)
+	allowBack := cfg.schemeAllowed(BackwardCount)
+	ids := pt.IDs()
+	for i := range ids {
+		p := &profiles[ids[i]]
+		out := uint32(1)
+		if pt.Taken(i) {
+			out = 0
+		}
+		p.total[out]++
+		em.emit(i)
+		tab := &p.tab
+		for _, key := range em.keys {
+			if key&refKeySchemeBit != 0 {
+				if !allowBack {
+					continue
+				}
+			} else if !allowOcc {
+				continue
+			}
+			cell := out
+			if key&refKeyTakenBit == 0 {
+				cell += 2 // state = not-taken
+			}
+			key &^= refKeyTakenBit
+			// Hand-inlined table hit path; misses take the insert call.
+			h := tab.probe(key)
+			if s := tab.slots[h]; s >= 0 { //bplint:ignore bce-hoist insert may swap the slot array mid-loop; the header reload is the correctness contract
+				tab.cands[s].cnt[cell]++ //bplint:ignore bce-hoist insert may grow the candidate array mid-loop; the header reload is the correctness contract
+			} else {
+				tab.insert(h, key, cell, cfg.MaxCandidates, addrs) //bplint:ignore kernel-purity miss path only; growth is amortized and bounded by the watermark prune
+			}
+		}
+	}
 }
 
 // instMatrix stores, for one static branch, each dynamic instance's
@@ -426,16 +442,17 @@ func newBeamMatcher(pt *trace.Packed, refs []Ref, total int) *beamMatcher {
 
 // lookup returns the sorted-key index of key, or -1.
 func (bm *beamMatcher) lookup(key uint64) int {
-	lo, hi := 0, len(bm.keys)
+	keys := bm.keys
+	lo, hi := 0, len(keys)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if bm.keys[mid] < key {
+		if keys[mid] < key {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(bm.keys) && bm.keys[lo] == key {
+	if lo < len(keys) && keys[lo] == key {
 		return lo
 	}
 	return -1
@@ -486,37 +503,7 @@ func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg Or
 	// Collection stream: one pass over the trace, one packed state
 	// vector per dynamic instance.
 	em := newOracleEmitter(pt, cfg.WindowLen)
-	ids := pt.IDs()
-	for i := range ids {
-		bm := matchers[ids[i]]
-		if bm == nil {
-			continue
-		}
-		em.emit(i)
-		vec := bm.absentVec
-		resolved := uint32(0)
-		for _, key := range em.keys {
-			ki := bm.lookup(key &^ refKeyTakenBit)
-			if ki < 0 {
-				continue
-			}
-			slot := bm.slots[ki]
-			bit := uint32(1) << slot
-			if resolved&bit != 0 {
-				continue // an earlier (more recent) instance owns the ref
-			}
-			resolved |= bit
-			st := uint64(StateTaken)
-			if key&refKeyTakenBit == 0 {
-				st = uint64(StateNotTaken)
-			}
-			vec = vec&^(3<<(2*uint64(slot))) | st<<(2*uint64(slot))
-			if resolved == bm.fullMask {
-				break
-			}
-		}
-		bm.m.push(vec, pt.Taken(i))
-	}
+	collectStream(pt, em, matchers)
 
 	// Scoring stage: per-branch, embarrassingly parallel, pre-assigned
 	// result slots.
@@ -558,6 +545,47 @@ func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg Or
 	return sel
 }
 
+// collectStream is the folded pass-2/3 per-record loop: for every
+// dynamic instance of a branch with a beam, resolve the window's
+// emissions against the beam and push the packed state vector. The
+// active matcher changes every record, so its headers cannot hoist
+// above the record loop.
+//
+//bplint:hot
+func collectStream(pt *trace.Packed, em *oracleEmitter, matchers []*beamMatcher) {
+	ids := pt.IDs()
+	for i := range ids {
+		bm := matchers[ids[i]]
+		if bm == nil {
+			continue
+		}
+		em.emit(i)
+		vec := bm.absentVec
+		resolved := uint32(0)
+		for _, key := range em.keys {
+			ki := bm.lookup(key &^ refKeyTakenBit)
+			if ki < 0 {
+				continue
+			}
+			slot := bm.slots[ki] //bplint:ignore bce-hoist bm is selected per record; its slot array cannot hoist above the record loop
+			bit := uint32(1) << slot
+			if resolved&bit != 0 {
+				continue // an earlier (more recent) instance owns the ref
+			}
+			resolved |= bit
+			st := uint64(StateTaken)
+			if key&refKeyTakenBit == 0 {
+				st = uint64(StateNotTaken)
+			}
+			vec = vec&^(3<<(2*uint64(slot))) | st<<(2*uint64(slot))
+			if resolved == bm.fullMask {
+				break
+			}
+		}
+		bm.m.push(vec, pt.Taken(i)) //bplint:ignore kernel-purity matrix buffers are preallocated to the branch's instance count in newBeamMatcher; pushes never grow
+	}
+}
+
 // buildMasks bit-slices a branch's instance matrix: masks[slot][state]
 // has bit t set when instance t saw beam candidate slot in that state.
 func buildMasks(k int, m *instMatrix) [][3][]uint64 {
@@ -565,7 +593,7 @@ func buildMasks(k int, m *instMatrix) [][3][]uint64 {
 	masks := make([][3][]uint64, k)
 	for s := range masks {
 		for st := 0; st < NumStates; st++ {
-			masks[s][st] = make([]uint64, words)
+			masks[s][st] = make([]uint64, words) //bplint:ignore kernel-purity mask planes are sized once per branch, before the bit-sliced record loops
 		}
 	}
 	for t, vec := range m.vecs {
@@ -634,6 +662,8 @@ func tripleScore(pm *[9][]uint64, mc *[3][]uint64, outT []uint64) uint32 {
 // popcount scoring (lexicographic enumeration, strict improvement — the
 // same tie-breaks as the reference), then the best greedy triple
 // extension of that pair.
+//
+//bplint:hot
 func scoreBranch(refs []Ref, m *instMatrix) branchSelection {
 	k := len(refs)
 	masks := buildMasks(k, m)
@@ -670,7 +700,7 @@ func scoreBranch(refs []Ref, m *instMatrix) branchSelection {
 		words := len(outT)
 		for sa := 0; sa < NumStates; sa++ {
 			for sb := 0; sb < NumStates; sb++ {
-				w := make([]uint64, words)
+				w := make([]uint64, words) //bplint:ignore kernel-purity nine pair-pattern masks built once per branch, off the record stream
 				a, b := masks[bestI][sa], masks[bestJ][sb]
 				for x := range w {
 					w[x] = a[x] & b[x]

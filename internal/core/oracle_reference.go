@@ -122,7 +122,7 @@ func ReferenceProfileCandidates(t *trace.Trace, cfg OracleConfig) map[trace.Addr
 		for ref, cs := range p.cands {
 			pres := cs.cnt[0][0] + cs.cnt[0][1] + cs.cnt[1][0] + cs.cnt[1][1]
 			// rankCandidates totally orders the slice before use.
-			all = append(all, scoredRef{ref, p.profileScore(ref), pres}) //bplint:ignore det-map-order
+			all = append(all, scoredRef{ref, p.profileScore(ref), pres}) //bplint:ignore det-map-order rankCandidates totally orders the slice before any consumer sees it
 		}
 		result[pc] = rankCandidates(all, int(p.total[0]+p.total[1]), cfg.TopK)
 	}

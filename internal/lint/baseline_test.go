@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkFinding(file string, line int, rule, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line}, Rule: rule, Msg: msg}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	fs := []Finding{
+		mkFinding("/r/a.go", 3, "det-time", "clock"),
+		mkFinding("/r/a.go", 9, "det-time", "clock"),
+		mkFinding("/r/b.go", 1, "io-print", "print"),
+	}
+	base := NewBaseline(fs[:2], "/r")
+	if len(base.Findings) != 1 || base.Findings[0].Count != 2 {
+		t.Fatalf("NewBaseline = %+v, want one entry with count 2", base.Findings)
+	}
+
+	news, stale := base.Diff(fs, "/r")
+	if len(stale) != 0 {
+		t.Errorf("stale = %v, want none", stale)
+	}
+	if len(news) != 1 || news[0].Rule != "io-print" {
+		t.Fatalf("new = %v, want just the io-print finding", news)
+	}
+
+	// A third same-key occurrence exceeds the grandfathered count of 2:
+	// the trailing occurrence (highest line) is the new one.
+	grown := append([]Finding{mkFinding("/r/a.go", 30, "det-time", "clock")}, fs[:2]...)
+	sortFindings(grown)
+	news, _ = base.Diff(grown, "/r")
+	if len(news) != 1 || news[0].Pos.Line != 30 {
+		t.Fatalf("count overflow: new = %v, want the line-30 occurrence", news)
+	}
+
+	// Burned-down debt: the key disappeared entirely.
+	news, stale = base.Diff(nil, "/r")
+	if len(news) != 0 || len(stale) != 1 {
+		t.Fatalf("Diff(nil) = new %v stale %v, want 0 new / 1 stale", news, stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+
+	// Missing file loads as an empty baseline.
+	empty, err := LoadBaseline(path)
+	if err != nil || len(empty.Findings) != 0 {
+		t.Fatalf("LoadBaseline(missing) = %+v, %v", empty, err)
+	}
+
+	base := NewBaseline([]Finding{mkFinding("/r/a.go", 3, "det-time", "clock")}, "/r")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Findings) != 1 || back.Findings[0] != base.Findings[0] {
+		t.Fatalf("round trip = %+v, want %+v", back.Findings, base.Findings)
+	}
+
+	// Saving is canonical: a second save is byte-identical.
+	before, _ := os.ReadFile(path)
+	if err := back.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("Save is not canonical; bytes changed on re-save")
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// bceRule (bce-hoist) enforces the bounds-check-elimination pattern the
+// kernel hot loops rely on (DESIGN §"Columnar kernels"): inside a
+// loop on a hot path, indexing through a field selector (p.table[i],
+// blk.IDs[i]) re-loads the slice header every iteration and defeats the
+// compiler's bounds-check elimination. The fix is mechanical — hoist the
+// slice header into a local before the loop (and, for power-of-two
+// tables, mask with a hoisted len-1) — so the rule fires on selector
+// indexing and on len(selector) evaluated inside loop-repeated code.
+type bceRule struct{}
+
+func (bceRule) ID() string { return "bce-hoist" }
+func (bceRule) Doc() string {
+	return "hot loops must index hoisted slice locals, not field selectors (len-1 mask pattern)"
+}
+
+// Check is unused; bce-hoist is a module rule.
+func (bceRule) Check(*Package) []Finding { return nil }
+
+func (r bceRule) CheckModule(m *Module) []Finding {
+	var out []Finding
+	for _, fi := range m.hotFuncs() {
+		out = append(out, r.checkFunc(fi)...)
+	}
+	return out
+}
+
+func (r bceRule) checkFunc(fi *FuncInfo) []Finding {
+	pkg := fi.Pkg
+	loops := collectLoopRegions(fi.Decl.Body)
+	var out []Finding
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.IndexExpr:
+			if !loops.contains(v.Pos()) {
+				return true
+			}
+			sel, ok := ast.Unparen(v.X).(*ast.SelectorExpr)
+			if !ok || !isSliceExpr(pkg, v.X) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(v.Pos()),
+				Rule: "bce-hoist",
+				Msg: fmt.Sprintf("indexing %s through a selector in a hot loop; hoist the slice into a local (len-1 mask pattern)",
+					exprString(sel)),
+			})
+		case *ast.CallExpr:
+			if !loops.contains(v.Pos()) {
+				return true
+			}
+			id, ok := ast.Unparen(v.Fun).(*ast.Ident)
+			if !ok || id.Name != "len" || pkg.Info.Uses[id] != types.Universe.Lookup("len") {
+				return true
+			}
+			if len(v.Args) != 1 {
+				return true
+			}
+			sel, ok := ast.Unparen(v.Args[0]).(*ast.SelectorExpr)
+			if !ok || !isSliceExpr(pkg, v.Args[0]) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(v.Pos()),
+				Rule: "bce-hoist",
+				Msg: fmt.Sprintf("len(%s) evaluated inside a hot loop; hoist it (or a len-1 mask) before the loop",
+					exprString(sel)),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// isSliceExpr reports whether e has slice type. Arrays are exempt:
+// hoisting an array selector into a local would copy it.
+func isSliceExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// exprString renders simple selector chains ("p.phts", "blk.IDs") for
+// diagnostics; anything more exotic falls back to "<expr>".
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "<expr>"
+}

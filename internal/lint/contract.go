@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/types"
 	"path/filepath"
-	"sort"
 )
 
 // The predictor-contract rule family enforces the two-level update
@@ -195,16 +194,4 @@ func (r registryRule) Check(pkg *Package) []Finding {
 	}
 	sortFindings(out)
 	return out
-}
-
-// sortFindings orders findings by position for deterministic rule output
-// (Run re-sorts globally; this keeps per-rule output stable too).
-func sortFindings(fs []Finding) {
-	sort.Slice(fs, func(i, j int) bool {
-		a, b := fs[i], fs[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		return a.Pos.Line < b.Pos.Line
-	})
 }

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// depAPIRule (dep-api) flags internal uses of Deprecated:-marked module
+// symbols — chiefly the sim.Run* convenience wrappers superseded by
+// sim.Simulate(trace, predictors, Options) — so the migration finishes
+// instead of fossilizing. For the wrapper family the rule attaches a
+// mechanical fix (applied by bplint -fix) that rewrites the call to the
+// equivalent Simulate form; other deprecated uses get a plain finding.
+// Uses inside the deprecated declarations themselves are exempt (the
+// wrappers must keep compiling until deleted).
+type depAPIRule struct{}
+
+func (depAPIRule) ID() string { return "dep-api" }
+func (depAPIRule) Doc() string {
+	return "no internal callers of Deprecated:-marked symbols (sim.Run* → sim.Simulate is auto-fixable)"
+}
+
+// Check is unused; dep-api is a module rule.
+func (depAPIRule) Check(*Package) []Finding { return nil }
+
+func (r depAPIRule) CheckModule(m *Module) []Finding {
+	var out []Finding
+	if len(m.deprecated) == 0 {
+		return nil
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			out = append(out, r.checkFile(m, pkg, file)...)
+		}
+	}
+	return out
+}
+
+func (r depAPIRule) checkFile(m *Module, pkg *Package, file *ast.File) []Finding {
+	// Identifiers inside deprecated declarations are exempt.
+	exempt := make(map[*ast.Ident]bool)
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && m.deprecated[fn] {
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					exempt[id] = true
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	handled := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			id := calleeIdent(v.Fun)
+			if id == nil || exempt[id] {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[id].(*types.Func)
+			if !ok || !m.deprecated[fn] {
+				return true
+			}
+			handled[id] = true
+			f := Finding{
+				Pos:  pkg.Fset.Position(v.Pos()),
+				Rule: "dep-api",
+				Msg:  fmt.Sprintf("call to deprecated %s", qualifiedName(fn)),
+			}
+			f.Fix = buildDepFix(m, pkg, file, v, fn)
+			out = append(out, f)
+		case *ast.Ident:
+			if exempt[v] || handled[v] {
+				return true
+			}
+			obj := pkg.Info.Uses[v]
+			if obj == nil || !m.deprecated[obj] {
+				return true
+			}
+			handled[v] = true
+			out = append(out, Finding{
+				Pos:  pkg.Fset.Position(v.Pos()),
+				Rule: "dep-api",
+				Msg:  fmt.Sprintf("use of deprecated %s", qualifiedName(obj)),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// calleeIdent returns the terminal identifier of a call target (the
+// method/function name ident), or nil for dynamic calls.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch v := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return v
+	case *ast.SelectorExpr:
+		return v.Sel
+	}
+	return nil
+}
+
+// qualifiedName renders "sim.Run" for diagnostics.
+func qualifiedName(obj types.Object) string {
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+// depRewrite describes the Simulate-form equivalent of one deprecated
+// wrapper: which Options fields to set, which Outcome field to project,
+// and whether the wrapper's second argument is the bucket size.
+type depRewrite struct {
+	target    string // replacement function name ("Simulate")
+	options   string // Options literal body, e.g. "ForceReference: true"
+	suffix    string // projection appended to the call, e.g. ".Results"
+	bucketArg bool   // args[1] is RunTimeline's bucketSize
+	single    bool   // args[1] is a single predictor, not variadic
+}
+
+// depRewrites is the mechanical-migration registry, keyed by the
+// deprecated function's package-qualified name.
+var depRewrites = map[string]depRewrite{
+	"sim.Run":           {target: "Simulate", suffix: ".Results"},
+	"sim.RunReference":  {target: "Simulate", options: "ForceReference: true", suffix: ".Results"},
+	"sim.RunOne":        {target: "Simulate", suffix: ".Results[0]", single: true},
+	"sim.RunTimeline":   {target: "Simulate", suffix: ".Timelines", bucketArg: true},
+	"sim.RunConcurrent": {target: "Simulate", options: "Parallel: true", suffix: ".Results"},
+	// RunStream's (results, error) shape has no expression-level
+	// equivalent; it is reported without a fix.
+}
+
+// parseRenames maps deprecated one-argument wrappers to their drop-in
+// replacement name in the same package.
+var parseRenames = map[string]string{
+	"bp.ParseEnv": "Parse",
+}
+
+// buildDepFix constructs the textual rewrite for one deprecated call, or
+// nil when no mechanical fix applies.
+func buildDepFix(m *Module, pkg *Package, file *ast.File, call *ast.CallExpr, fn *types.Func) *Fix {
+	key := qualifiedName(fn)
+	pos := pkg.Fset.Position(call.Pos())
+	src, err := m.Source(pos.Filename)
+	if err != nil {
+		return nil
+	}
+	text := func(n ast.Node) string {
+		lo := pkg.Fset.Position(n.Pos()).Offset
+		hi := pkg.Fset.Position(n.End()).Offset
+		if lo < 0 || hi > len(src) || lo > hi {
+			return ""
+		}
+		return string(src[lo:hi])
+	}
+
+	if newName := parseRenames[key]; newName != "" {
+		id := calleeIdent(call.Fun)
+		lo := pkg.Fset.Position(id.Pos()).Offset
+		hi := pkg.Fset.Position(id.End()).Offset
+		return &Fix{File: pos.Filename, Edits: []Edit{{Off: lo, End: hi, New: newName}}}
+	}
+
+	rw, ok := depRewrites[key]
+	if !ok {
+		return nil
+	}
+	// Qualifier as written at the call site ("sim." or "" in-package).
+	qual := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		qual = text(sel.X) + "."
+	}
+
+	args := call.Args
+	if len(args) < 1 {
+		return nil
+	}
+	traceArg := text(args[0])
+	rest := args[1:]
+	options := rw.options
+	if rw.bucketArg {
+		if len(rest) < 1 {
+			return nil
+		}
+		options = "BucketSize: " + text(rest[0])
+		rest = rest[1:]
+	}
+
+	var preds string
+	switch {
+	case rw.single:
+		if len(rest) != 1 {
+			return nil
+		}
+		elem := predictorElemType(pkg, file, fn)
+		if elem == "" {
+			return nil
+		}
+		preds = "[]" + elem + "{" + text(rest[0]) + "}"
+	case call.Ellipsis.IsValid():
+		if len(rest) != 1 {
+			return nil
+		}
+		preds = text(rest[0])
+	default:
+		elem := predictorElemType(pkg, file, fn)
+		if elem == "" {
+			return nil
+		}
+		var parts []string
+		for _, a := range rest {
+			parts = append(parts, text(a))
+		}
+		preds = "[]" + elem + "{" + strings.Join(parts, ", ") + "}"
+	}
+
+	repl := fmt.Sprintf("%s%s(%s, %s, %sOptions{%s})%s",
+		qual, rw.target, traceArg, preds, qual, options, rw.suffix)
+	lo := pkg.Fset.Position(call.Pos()).Offset
+	hi := pkg.Fset.Position(call.End()).Offset
+	return &Fix{File: pos.Filename, Edits: []Edit{{Off: lo, End: hi, New: repl}}}
+}
+
+// predictorElemType renders the element type of fn's trailing
+// slice/variadic parameter as it must be written in file — e.g.
+// "bp.Predictor" — resolving the package qualifier through the file's
+// imports. It returns "" when the file cannot name the type (no import).
+func predictorElemType(pkg *Package, file *ast.File, fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return ""
+	}
+	last := sig.Params().At(sig.Params().Len() - 1).Type()
+	var elem types.Type
+	if sl, ok := last.Underlying().(*types.Slice); ok {
+		elem = sl.Elem()
+	} else {
+		elem = last // RunOne: the parameter is the element type itself
+	}
+	named, ok := elem.(*types.Named)
+	if !ok {
+		return ""
+	}
+	tpkg := named.Obj().Pkg()
+	if tpkg == nil || tpkg == pkg.Types {
+		return named.Obj().Name()
+	}
+	local := importNameFor(file, tpkg)
+	if local == "" {
+		return ""
+	}
+	return local + "." + named.Obj().Name()
+}
+
+// importNameFor returns the name under which file refers to tpkg, or ""
+// when the file does not import it (or dot-imports it).
+func importNameFor(file *ast.File, tpkg *types.Package) string {
+	for _, spec := range file.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil || path != tpkg.Path() {
+			continue
+		}
+		if spec.Name != nil {
+			if spec.Name.Name == "." || spec.Name.Name == "_" {
+				return ""
+			}
+			return spec.Name.Name
+		}
+		return tpkg.Name()
+	}
+	return ""
+}

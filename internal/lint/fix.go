@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// Edit is one byte-range replacement in a file: the half-open offset
+// range [Off, End) is replaced with New.
+type Edit struct {
+	Off, End int
+	New      string
+}
+
+// Fix is a suggested, mechanically applicable repair for one finding.
+// All edits address the same file (the finding's file); bplint -fix
+// groups fixes by file, applies them, and re-formats the result.
+type Fix struct {
+	File  string
+	Edits []Edit
+}
+
+// ApplyFixes applies every fix to the file system, returning the list of
+// rewritten files (sorted). Fixes whose edits overlap an earlier-applied
+// edit in the same file are skipped — re-running bplint surfaces their
+// findings again, so -fix converges over repeated runs and is a no-op
+// once clean.
+func ApplyFixes(findings []Finding) (changed []string, err error) {
+	byFile := make(map[string][]Edit)
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		byFile[f.Fix.File] = append(byFile[f.Fix.File], f.Fix.Edits...)
+	}
+	files := make([]string, 0, len(byFile))
+	for file := range byFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		out, n := applyEdits(src, byFile[file])
+		if n == 0 {
+			continue
+		}
+		formatted, ferr := format.Source(out)
+		if ferr != nil {
+			return changed, fmt.Errorf("lint: fix for %s produced invalid Go: %w", file, ferr)
+		}
+		info, err := os.Stat(file)
+		if err != nil {
+			return changed, err
+		}
+		if err := os.WriteFile(file, formatted, info.Mode().Perm()); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}
+
+// applyEdits applies the non-overlapping subset of edits to src and
+// reports how many were applied. Edits are applied back-to-front so
+// earlier offsets stay valid; of two overlapping edits the one starting
+// earlier in the file wins (deterministic regardless of input order).
+func applyEdits(src []byte, edits []Edit) ([]byte, int) {
+	sorted := make([]Edit, 0, len(edits))
+	for _, e := range edits {
+		if e.Off < 0 || e.End < e.Off || e.End > len(src) {
+			continue
+		}
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Off != sorted[j].Off {
+			return sorted[i].Off < sorted[j].Off
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	// Drop edits overlapping their predecessor, then apply right-to-left.
+	kept := sorted[:0]
+	prevEnd := -1
+	for _, e := range sorted {
+		if e.Off < prevEnd {
+			continue
+		}
+		kept = append(kept, e)
+		prevEnd = e.End
+	}
+	out := src
+	for i := len(kept) - 1; i >= 0; i-- {
+		e := kept[i]
+		var buf []byte
+		buf = append(buf, out[:e.Off]...)
+		buf = append(buf, e.New...)
+		buf = append(buf, out[e.End:]...)
+		out = buf
+	}
+	return out, len(kept)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/findings.golden from current output")
+
+// renderAll runs the full rule set over the fixture tree at the given
+// parallelism and renders every output format.
+func renderAll(t *testing.T, parallel int) (text, jsonOut, sarif []byte) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	rules := AllRules()
+	findings := RunParallel(pkgs, rules, RunOptions{Parallel: parallel})
+	var tb, jb, sb bytes.Buffer
+	if err := WriteText(&tb, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jb, findings, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSARIF(&sb, findings, rules, root); err != nil {
+		t.Fatal(err)
+	}
+	return tb.Bytes(), jb.Bytes(), sb.Bytes()
+}
+
+// TestParallelInvariance pins the tentpole determinism claim: bplint's
+// output over the fixture tree is byte-identical at -parallel 1 and
+// -parallel 8, in every output format, and the text form matches the
+// committed golden file (regenerate with `go test ./internal/lint
+// -run TestParallelInvariance -update`).
+func TestParallelInvariance(t *testing.T) {
+	text1, json1, sarif1 := renderAll(t, 1)
+	text8, json8, sarif8 := renderAll(t, 8)
+	if !bytes.Equal(text1, text8) {
+		t.Errorf("text output differs between -parallel 1 and 8:\n--- p1 ---\n%s\n--- p8 ---\n%s", text1, text8)
+	}
+	if !bytes.Equal(json1, json8) {
+		t.Error("json output differs between -parallel 1 and 8")
+	}
+	if !bytes.Equal(sarif1, sarif8) {
+		t.Error("sarif output differs between -parallel 1 and 8")
+	}
+
+	goldenPath := filepath.Join("testdata", "findings.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, text1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(text1, golden) {
+		t.Errorf("text output deviates from testdata/findings.golden (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", text1, golden)
+	}
+	if len(text1) == 0 {
+		t.Error("fixture tree produced no findings; the golden pin is vacuous")
+	}
+}

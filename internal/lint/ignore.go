@@ -4,72 +4,112 @@ import (
 	"strings"
 )
 
-// ignoreIndex records, per file and line, the rule ids suppressed by
-// //bplint:ignore comments. A comment suppresses findings on its own
-// line (trailing comment) and on the line directly below it (standalone
-// comment above the offending statement).
-type ignoreIndex map[string]map[int][]string
+// directive is one //bplint:ignore comment: the rule ids it suppresses,
+// the justification text that follows them, and — filled in during a run
+// — which of its ids actually suppressed a finding. The ignore-reason
+// rule reads the latter to flag stale directives.
+type directive struct {
+	file     string
+	line     int
+	off, end int // byte range of the comment, for the delete-stale fix
+	ids      []string
+	reason   string
+	used     map[string]bool
+}
 
-// buildIgnoreIndex scans every comment of the package.
-func buildIgnoreIndex(pkg *Package) ignoreIndex {
-	idx := make(ignoreIndex)
-	for _, file := range pkg.Files {
-		for _, group := range file.Comments {
-			for _, c := range group.List {
-				ids := parseIgnore(c.Text)
-				if ids == nil {
-					continue
+// ignoreIndex records every ignore directive of the analyzed packages,
+// addressable by file and line. A directive suppresses findings on its
+// own line (trailing comment) and on the line directly below it
+// (standalone comment above the offending statement).
+type ignoreIndex struct {
+	lines map[string]map[int][]*directive
+	all   []*directive
+}
+
+// buildIgnoreIndex scans every comment of every package.
+func buildIgnoreIndex(pkgs []*Package) *ignoreIndex {
+	idx := &ignoreIndex{lines: make(map[string]map[int][]*directive)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					ids, reason, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d := &directive{
+						file:   pos.Filename,
+						line:   pos.Line,
+						off:    pos.Offset,
+						end:    pkg.Fset.Position(c.End()).Offset,
+						ids:    ids,
+						reason: reason,
+						used:   make(map[string]bool),
+					}
+					m := idx.lines[pos.Filename]
+					if m == nil {
+						m = make(map[int][]*directive)
+						idx.lines[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], d)
+					idx.all = append(idx.all, d)
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				m := idx[pos.Filename]
-				if m == nil {
-					m = make(map[int][]string)
-					idx[pos.Filename] = m
-				}
-				m[pos.Line] = append(m[pos.Line], ids...)
 			}
 		}
 	}
 	return idx
 }
 
-// parseIgnore extracts the suppressed rule ids from one comment, or nil
-// if it is not an ignore directive. Accepted forms:
+// parseIgnore extracts the suppressed rule ids and the justification from
+// one comment; ok is false when the comment is not an ignore directive.
+// Accepted forms:
 //
-//	//bplint:ignore rule-id
-//	//bplint:ignore rule-a,rule-b optional free-text reason
-//	//bplint:ignore all
-func parseIgnore(text string) []string {
+//	//bplint:ignore rule-id reason text
+//	//bplint:ignore rule-a,rule-b reason text
+//	//bplint:ignore all reason text
+//
+// The reason (everything after the id list) is required by the
+// ignore-reason rule; parseIgnore itself accepts its absence so the rule
+// can report it.
+func parseIgnore(text string) (ids []string, reason string, ok bool) {
 	rest, ok := strings.CutPrefix(text, "//bplint:ignore")
 	if !ok {
-		return nil
+		return nil, "", false
 	}
-	fields := strings.Fields(rest)
-	if len(fields) == 0 {
-		return nil
+	rest = strings.TrimSpace(rest)
+	idField, reason, _ := strings.Cut(rest, " ")
+	if idField == "" {
+		return nil, "", false
 	}
-	var ids []string
-	for _, id := range strings.Split(fields[0], ",") {
+	for _, id := range strings.Split(idField, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			ids = append(ids, id)
 		}
 	}
-	return ids
+	return ids, strings.TrimSpace(reason), len(ids) > 0
 }
 
-// suppressed reports whether the finding is covered by an ignore
-// directive on its line or the line above.
-func (idx ignoreIndex) suppressed(f Finding) bool {
-	m := idx[f.Pos.Filename]
+// suppress reports whether the finding is covered by an ignore directive
+// on its line or the line above, marking the matching directive id as
+// used (the ignore-reason rule flags ids that never suppress anything).
+// The blanket "all" form never covers ignore-reason findings: a stale or
+// unjustified directive must not be able to hide its own diagnosis.
+func (idx *ignoreIndex) suppress(f Finding) bool {
+	m := idx.lines[f.Pos.Filename]
 	if m == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, id := range m[line] {
-			if id == f.Rule || id == "all" {
-				return true
+		for _, d := range m[line] {
+			for _, id := range d.ids {
+				if id == f.Rule || (id == "all" && f.Rule != "ignore-reason") {
+					d.used[id] = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
 }

@@ -3,25 +3,32 @@
 // go/types — no dependencies beyond the standard library — and enforces
 // the invariants the paper reproduction rests on: bit-for-bit determinism
 // of the simulator, the two-level Predict/Update contract, saturating-
-// counter hygiene, and I/O discipline. DESIGN.md §"Static analysis &
-// invariants" documents each rule and the paper-level property it
+// counter hygiene, I/O discipline, and (since v2) the allocation-freedom
+// and bounds-check hygiene of the kernel hot paths, checked through a
+// package-level call-graph/dataflow pass (see analysis.go). DESIGN.md
+// §"Static analysis" documents each rule and the paper-level property it
 // protects.
 //
 // Findings can be suppressed with a comment on the offending line or the
 // line directly above it:
 //
 //	x := sloppy() //bplint:ignore det-time legitimate wall-clock use
-//	//bplint:ignore io-print,io-errcheck
-//	fmt.Println("debug")
+//	//bplint:ignore io-print,io-errcheck CLI entry point prints its report
+//	fmt.Println("report")
 //
-// The comment names one rule id, a comma-separated list, or "all".
+// The comment names one rule id, a comma-separated list, or "all", and
+// must be followed by a justification — the ignore-reason rule rejects
+// bare directives and directives that no longer suppress anything.
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/token"
 	"sort"
 	"strings"
+
+	"branchcorr/internal/runner"
 )
 
 // Finding is one diagnostic produced by a rule.
@@ -29,6 +36,8 @@ type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// Fix, when non-nil, is a mechanical repair bplint -fix can apply.
+	Fix *Fix `json:"-"`
 }
 
 // String renders the finding in the canonical "file:line: [rule] msg"
@@ -48,6 +57,14 @@ type Rule interface {
 	Check(pkg *Package) []Finding
 }
 
+// moduleRule is a Rule needing whole-module facts (call graph, hot-path
+// reachability, deprecation index). CheckModule runs once per Run, not
+// once per package; such a rule's Check is never called.
+type moduleRule interface {
+	Rule
+	CheckModule(m *Module) []Finding
+}
+
 // AllRules returns the full rule set in reporting order.
 func AllRules() []Rule {
 	return []Rule{
@@ -60,6 +77,11 @@ func AllRules() []Rule {
 		ioPrintRule{},
 		errcheckRule{},
 		obsIORule{},
+		purityRule{},
+		bceRule{},
+		depAPIRule{},
+		syncRule{},
+		ignoreReasonRule{},
 	}
 }
 
@@ -96,22 +118,108 @@ func RuleIDs() []string {
 	return out
 }
 
+// RunOptions configures a lint run.
+type RunOptions struct {
+	// Parallel is the worker count for the per-package/per-rule cells;
+	// 0 selects GOMAXPROCS. Output is identical at every level.
+	Parallel int
+}
+
 // Run applies the rules to every package and returns the surviving
 // findings, ordered by file, line, and rule. Findings matched by a
-// //bplint:ignore comment are dropped.
+// //bplint:ignore comment are dropped. It is RunParallel at the
+// canonical (sequential) parallelism.
 func Run(pkgs []*Package, rules []Rule) []Finding {
-	var out []Finding
+	return RunParallel(pkgs, rules, RunOptions{Parallel: 1})
+}
+
+// RunParallel is Run with an explicit worker count. Each (package, rule)
+// pair — and each module-level rule — is one cell of the internal/runner
+// pool with a pre-assigned result slot, so the merged finding list is
+// byte-identical at every parallelism level.
+func RunParallel(pkgs []*Package, rules []Rule, opts RunOptions) []Finding {
+	var (
+		plain  []Rule
+		module []moduleRule
+		irRule Rule // ignore-reason runs after suppression; see below
+	)
+	for _, r := range rules {
+		if _, ok := r.(ignoreReasonRule); ok {
+			irRule = r
+			continue
+		}
+		if mr, ok := r.(moduleRule); ok {
+			module = append(module, mr)
+			continue
+		}
+		plain = append(plain, r)
+	}
+
+	// The module facts are shared read-only by every module rule; the
+	// ignore index is shared too, but its use counters are only touched
+	// in the sequential suppression pass after the pool drains.
+	var mod *Module
+	if len(module) > 0 {
+		mod = NewModule(pkgs)
+	}
+	ignores := buildIgnoreIndex(pkgs)
+
+	cells := make([]runner.Cell, 0, len(pkgs)*len(plain)+len(module))
+	slots := make([][]Finding, 0, cap(cells))
+	addCell := func(exhibit, workload string, run func() []Finding) {
+		i := len(slots)
+		slots = append(slots, nil)
+		cells = append(cells, runner.Cell{
+			Exhibit:  exhibit,
+			Workload: workload,
+			Run: func(context.Context) error {
+				slots[i] = run()
+				return nil
+			},
+		})
+	}
 	for _, pkg := range pkgs {
-		ignores := buildIgnoreIndex(pkg)
-		for _, rule := range rules {
-			for _, f := range rule.Check(pkg) {
-				if ignores.suppressed(f) {
-					continue
-				}
-				out = append(out, f)
-			}
+		for _, rule := range plain {
+			pkg, rule := pkg, rule
+			addCell(rule.ID(), pkg.Path, func() []Finding { return rule.Check(pkg) })
 		}
 	}
+	for _, mr := range module {
+		mr := mr
+		addCell(mr.ID(), "", func() []Finding { return mr.CheckModule(mod) })
+	}
+	if err := runner.Run(context.Background(), cells, runner.Options{Parallel: opts.Parallel}); err != nil {
+		// Cells never return errors; only external context cancellation
+		// could land here, and we pass a background context.
+		panic("lint: runner failed: " + err.Error())
+	}
+
+	var out []Finding
+	for _, fs := range slots {
+		for _, f := range fs {
+			if ignores.suppress(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	// ignore-reason runs last: staleness is defined by what the other
+	// selected rules' suppression pass actually used.
+	if irRule != nil {
+		fullSet := len(rules) == len(AllRules())
+		for _, f := range checkIgnoreReasons(ignores, rules, fullSet) {
+			if ignores.suppress(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings canonically: file, line, rule, message.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -125,7 +233,6 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Msg < b.Msg
 	})
-	return out
 }
 
 // hasSegment reports whether the package import path contains the given

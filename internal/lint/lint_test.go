@@ -7,18 +7,24 @@ import (
 	"testing"
 )
 
-// fixtureCases pairs each seeded fixture package with the rule family it
+// fixtureCases pairs each seeded fixture with the rule family it
 // exercises. Running only the family keeps the want-comment bookkeeping
-// one-rule-per-line.
+// one-rule-per-line. Multi-package cases (depfix) list every package the
+// module-level rule must see in one run.
 var fixtureCases = []struct {
-	dir   string
+	name  string
+	dirs  []string
 	rules string
 }{
-	{"internal/determfix", "det-time,det-rand,det-map-order"},
-	{"internal/contractfix", "bp-contract,bp-registry"},
-	{"internal/counterfix", "ctr-saturate"},
-	{"internal/iofix", "io-print,io-errcheck"},
-	{"internal/obsfix", "obs-io"},
+	{"determfix", []string{"internal/determfix"}, "det-time,det-rand,det-map-order"},
+	{"contractfix", []string{"internal/contractfix"}, "bp-contract,bp-registry"},
+	{"counterfix", []string{"internal/counterfix"}, "ctr-saturate"},
+	{"iofix", []string{"internal/iofix"}, "io-print,io-errcheck"},
+	{"obsfix", []string{"internal/obsfix"}, "obs-io"},
+	{"hotfix", []string{"internal/hotfix"}, "kernel-purity,bce-hoist"},
+	{"depfix", []string{"internal/depfix/bp", "internal/depfix/sim", "internal/depfix/use"}, "dep-api"},
+	{"syncfix", []string{"internal/syncfix"}, "sync-discipline"},
+	{"ignorefix", []string{"internal/ignorefix"}, "det-time,ignore-reason"},
 }
 
 // loc is one (file, line, rule) diagnostic location.
@@ -50,14 +56,21 @@ func findPackage(t *testing.T, pkgs []*Package, relDir string) *Package {
 	return nil
 }
 
-// wantedFindings scans the fixture's "// want rule-id" comments; each
-// marks the exact line a diagnostic must anchor to.
+// wantedFindings scans the fixture's want comments; each marks the exact
+// line a diagnostic must anchor to. Both comment forms are accepted —
+// "// want rule-id" and, for lines whose trailing position is taken by
+// an ignore directive, "/* want rule-id */".
 func wantedFindings(pkg *Package) []loc {
 	var out []loc
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
 				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					if rest, ok = strings.CutPrefix(c.Text, "/* want "); ok {
+						rest, ok = strings.CutSuffix(rest, "*/")
+					}
+				}
 				if !ok {
 					continue
 				}
@@ -79,21 +92,27 @@ func wantedFindings(pkg *Package) []loc {
 func TestFixtures(t *testing.T) {
 	pkgs := loadFixtures(t)
 	for _, tc := range fixtureCases {
-		t.Run(filepath.Base(tc.dir), func(t *testing.T) {
-			pkg := findPackage(t, pkgs, tc.dir)
+		t.Run(tc.name, func(t *testing.T) {
+			var run []*Package
+			for _, dir := range tc.dirs {
+				run = append(run, findPackage(t, pkgs, dir))
+			}
 			rules, err := SelectRules(tc.rules)
 			if err != nil {
 				t.Fatalf("SelectRules(%q): %v", tc.rules, err)
 			}
 			got := make(map[loc]string)
-			for _, f := range Run([]*Package{pkg}, rules) {
+			for _, f := range Run(run, rules) {
 				l := loc{filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule}
 				got[l] = f.Msg
 				if f.Msg == "" {
 					t.Errorf("%v: empty message", l)
 				}
 			}
-			want := wantedFindings(pkg)
+			var want []loc
+			for _, pkg := range run {
+				want = append(want, wantedFindings(pkg)...)
+			}
 			for _, w := range want {
 				if _, ok := got[w]; !ok {
 					t.Errorf("missing finding %v", w)
@@ -112,9 +131,9 @@ func TestFixtures(t *testing.T) {
 // directive (so TestFixtures keeps exercising the suppression path).
 func TestFixturesHaveIgnores(t *testing.T) {
 	pkgs := loadFixtures(t)
-	for _, dir := range []string{"internal/determfix", "internal/counterfix", "internal/iofix", "internal/obsfix"} {
+	for _, dir := range []string{"internal/determfix", "internal/counterfix", "internal/iofix", "internal/obsfix", "internal/hotfix", "internal/ignorefix"} {
 		pkg := findPackage(t, pkgs, dir)
-		if len(buildIgnoreIndex(pkg)) == 0 {
+		if len(buildIgnoreIndex([]*Package{pkg}).all) == 0 {
 			t.Errorf("%s: no //bplint:ignore directive; suppression is untested", dir)
 		}
 	}
@@ -155,18 +174,33 @@ func TestRuleIDsUnique(t *testing.T) {
 }
 
 // TestRepoIsClean dogfoods the suite over the module itself: the tree
-// must stay free of findings (fix the code or add a justified
-// //bplint:ignore; never let findings accumulate).
+// must stay free of findings beyond the committed lint/baseline.json
+// grandfather list (fix the code, add a justified //bplint:ignore, or —
+// for deliberate debt — baseline it; never let findings accumulate
+// silently). Stale baseline entries fail too: burned-down debt must be
+// removed by regenerating the baseline.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module type-check is slow; skipped with -short")
 	}
-	pkgs, err := Load(filepath.Join("..", ".."))
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Abs: %v", err)
+	}
+	pkgs, err := Load(root)
 	if err != nil {
 		t.Fatalf("Load(module root): %v", err)
 	}
 	findings := Run(pkgs, AllRules())
-	for _, f := range findings {
-		t.Errorf("%s", f)
+	base, err := LoadBaseline(filepath.Join(root, "lint", "baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	news, stale := base.Diff(findings, root)
+	for _, f := range news {
+		t.Errorf("new finding: %s", f)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry: %s [%s] %s — regenerate lint/baseline.json", e.File, e.Rule, e.Msg)
 	}
 }

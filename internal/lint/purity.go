@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// purityRule (kernel-purity) enforces the allocation budget of the
+// simulation hot paths: every function reachable from a kernel entry
+// point — a SimulateBlock method or a //bplint:hot-annotated function —
+// must not allocate per branch. Inside loop-repeated code it bans map
+// operations, make/new, slice and map literals, closures, appends
+// without visible preallocated capacity, interface boxing, and calls to
+// functions the module-level analysis could not prove allocation-free;
+// fmt calls are banned anywhere on a hot path. The per-branch property
+// is cross-checked dynamically by the testing.AllocsPerRun tests next to
+// each kernel family.
+type purityRule struct{}
+
+func (purityRule) ID() string { return "kernel-purity" }
+func (purityRule) Doc() string {
+	return "functions reachable from SimulateBlock / //bplint:hot roots must not allocate per branch"
+}
+
+// Check is unused; kernel-purity is a module rule.
+func (purityRule) Check(*Package) []Finding { return nil }
+
+func (r purityRule) CheckModule(m *Module) []Finding {
+	var out []Finding
+	for _, fi := range m.hotFuncs() {
+		out = append(out, r.checkFunc(m, fi)...)
+	}
+	return out
+}
+
+func (r purityRule) checkFunc(m *Module, fi *FuncInfo) []Finding {
+	pkg := fi.Pkg
+	root := m.hot[fi.Fn]
+	loops := collectLoopRegions(fi.Decl.Body)
+	prealloc := preallocTargets(pkg, fi.Decl.Body)
+	var out []Finding
+
+	report := func(pos token.Pos, format string, args ...any) {
+		args = append(args, root)
+		out = append(out, Finding{
+			Pos:  pkg.Fset.Position(pos),
+			Rule: "kernel-purity",
+			Msg:  fmt.Sprintf(format+" (reachable from %s)", args...),
+		})
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		inLoop := loops.contains(n.Pos())
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if isFmtCall(pkg, v) {
+				report(v.Pos(), "fmt call on hot path")
+				return true
+			}
+			if !inLoop {
+				return true
+			}
+			switch kind, name := classifyCall(pkg, v); kind {
+			case callBuiltin:
+				switch name {
+				case "make", "new":
+					report(v.Pos(), "%s in kernel loop allocates", name)
+				case "append":
+					if obj := targetObj(pkg, v.Args[0]); obj == nil || !prealloc[obj] {
+						report(v.Pos(), "append without visible preallocated capacity in kernel loop")
+					}
+				case "delete":
+					report(v.Pos(), "map delete in kernel loop")
+				}
+			case callExternal:
+				if !allocFreeStdlib[name] {
+					report(v.Pos(), "call into unaudited package %s in kernel loop", name)
+				}
+			case callDynamic:
+				report(v.Pos(), "dynamic call in kernel loop defeats the allocation analysis")
+			case callModule:
+				if fn := calleeFunc(pkg, v); fn != nil {
+					if ci := m.funcs[fn]; ci != nil && ci.mayAlloc {
+						report(v.Pos(), "call to %s may allocate in kernel loop", fn.Name())
+					}
+				}
+			}
+			// Boxing through call arguments: concrete value passed to an
+			// interface-typed parameter allocates per call.
+			if arg, ok := boxedArg(pkg, v); ok {
+				report(arg.Pos(), "argument boxed into interface in kernel loop")
+			}
+		case *ast.IndexExpr:
+			if inLoop && isMapIndex(pkg, v) {
+				report(v.Pos(), "map access in kernel loop; use a dense-ID table")
+			}
+		case *ast.CompositeLit:
+			if inLoop && compositeAllocates(pkg, v) {
+				report(v.Pos(), "slice/map literal in kernel loop allocates")
+			}
+		case *ast.UnaryExpr:
+			if inLoop && v.Op == token.AND {
+				if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+					report(v.Pos(), "address of composite literal in kernel loop allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if inLoop {
+				report(v.Pos(), "closure in kernel loop allocates")
+				return false
+			}
+		case *ast.AssignStmt:
+			if !inLoop {
+				return true
+			}
+			for i := range v.Lhs {
+				if i >= len(v.Rhs) {
+					break
+				}
+				if boxesInterface(pkg, v.Lhs[i], v.Rhs[i]) {
+					report(v.Rhs[i].Pos(), "value boxed into interface in kernel loop")
+				}
+			}
+		case *ast.GoStmt:
+			report(v.Pos(), "goroutine launch on hot path")
+		}
+		return true
+	})
+	return out
+}
+
+// posRange is a half-open source region.
+type posRange struct{ lo, hi token.Pos }
+
+type loopRegions []posRange
+
+// collectLoopRegions gathers the loop-repeated regions of a body: a for
+// statement's condition, post statement, and body, and a range
+// statement's body (the range expression itself is evaluated once).
+func collectLoopRegions(body *ast.BlockStmt) loopRegions {
+	var out loopRegions
+	add := func(n ast.Node) {
+		if n != nil {
+			out = append(out, posRange{n.Pos(), n.End()})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			add(v.Cond)
+			add(v.Post)
+			add(v.Body)
+		case *ast.RangeStmt:
+			add(v.Body)
+		}
+		return true
+	})
+	return out
+}
+
+func (r loopRegions) contains(pos token.Pos) bool {
+	for _, pr := range r {
+		if pr.lo <= pos && pos < pr.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// isFmtCall reports whether the call targets the fmt package.
+func isFmtCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}
+
+// boxesInterface reports whether assigning rhs to lhs converts a
+// concrete value to an interface type.
+func boxesInterface(pkg *Package, lhs, rhs ast.Expr) bool {
+	lt, ok := pkg.Info.Types[lhs]
+	if !ok || !types.IsInterface(lt.Type) {
+		return false
+	}
+	rt, ok := pkg.Info.Types[rhs]
+	if !ok || rt.IsNil() || rt.Type == nil {
+		return false
+	}
+	return !types.IsInterface(rt.Type)
+}
+
+// boxedArg finds the first concrete argument passed to an interface
+// parameter of the call, skipping built-ins (panic is a cold exit) and
+// conversions.
+func boxedArg(pkg *Package, call *ast.CallExpr) (ast.Expr, bool) {
+	kind, _ := classifyCall(pkg, call)
+	if kind == callBuiltin || kind == callConv {
+		return nil, false
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil, false
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if !ok || at.IsNil() || types.IsInterface(at.Type) {
+			continue
+		}
+		return arg, true
+	}
+	return nil, false
+}

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// syncRule (sync-discipline) checks the concurrency hygiene the
+// deterministic runner depends on:
+//
+//   - a goroutine launched as `go func(){...}()` must carry a join
+//     signal — a WaitGroup.Done, a channel send, or a close — so the
+//     program can wait for it (fire-and-forget goroutines outlive tests
+//     and leak into -race runs);
+//   - WaitGroup.Add must happen before the `go` statement, never inside
+//     the launched goroutine (the classic Add/Wait race);
+//   - a Done inside a goroutine must have a visible Add on the same
+//     WaitGroup earlier in the launching function;
+//   - a struct field passed to sync/atomic functions must not also be
+//     accessed plainly in the same package (mixed atomic/plain access is
+//     a data race even when it "works").
+type syncRule struct{}
+
+func (syncRule) ID() string { return "sync-discipline" }
+func (syncRule) Doc() string {
+	return "WaitGroup add/done pairing, goroutine join paths, no mixed atomic/plain field access"
+}
+
+func (r syncRule) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		out = append(out, r.checkGoroutines(pkg, file)...)
+	}
+	out = append(out, r.checkAtomicMix(pkg)...)
+	return out
+}
+
+// checkGoroutines enforces the WaitGroup and join-path checks.
+func (r syncRule) checkGoroutines(pkg *Package, file *ast.File) []Finding {
+	var out []Finding
+	funcBodies(file, func(name string, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // named-function launches are out of scope here
+			}
+			joined := false
+			var doneRoots []*ast.Ident
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				switch v := m.(type) {
+				case *ast.SendStmt:
+					joined = true
+				case *ast.CallExpr:
+					switch {
+					case isWaitGroupMethod(pkg, v, "Done"):
+						joined = true
+						if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+							if root := rootIdent(sel.X); root != nil {
+								doneRoots = append(doneRoots, root)
+							}
+						}
+					case isWaitGroupMethod(pkg, v, "Add"):
+						out = append(out, Finding{
+							Pos:  pkg.Fset.Position(v.Pos()),
+							Rule: "sync-discipline",
+							Msg:  "WaitGroup.Add inside the goroutine it accounts for; call Add before the go statement",
+						})
+					case isBuiltinCall(pkg, v, "close"):
+						joined = true
+					}
+				}
+				return true
+			})
+			if !joined {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(gs.Pos()),
+					Rule: "sync-discipline",
+					Msg:  "goroutine has no join path (no WaitGroup.Done, channel send, or close); callers cannot wait for it",
+				})
+			}
+			for _, root := range doneRoots {
+				obj := objectOf(pkg, root)
+				if obj == nil {
+					continue
+				}
+				if !hasAddBefore(pkg, body, obj, gs.Pos()) {
+					out = append(out, Finding{
+						Pos:  pkg.Fset.Position(gs.Pos()),
+						Rule: "sync-discipline",
+						Msg:  fmt.Sprintf("goroutine calls %s.Done but no %s.Add precedes the go statement", root.Name, root.Name),
+					})
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// hasAddBefore reports whether body contains a call wg.Add(...) on the
+// given WaitGroup object positionally before limit.
+func hasAddBefore(pkg *Package, body *ast.BlockStmt, wg types.Object, limit token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= limit || !isWaitGroupMethod(pkg, call, "Add") {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root != nil && objectOf(pkg, root) == wg {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkAtomicMix flags fields that are both passed to sync/atomic
+// functions and accessed plainly somewhere else in the package.
+func (r syncRule) checkAtomicMix(pkg *Package) []Finding {
+	// Pass 1: fields used atomically, and the identifiers inside those
+	// atomic call arguments (exempt from the plain-access pass).
+	atomicFields := make(map[types.Object]string)
+	inAtomicArg := make(map[*ast.Ident]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						inAtomicArg[id] = true
+					}
+					return true
+				})
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := objectOf(pkg, sel.Sel); obj != nil {
+					if _, isField := obj.(*types.Var); isField {
+						atomicFields[obj] = sel.Sel.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: plain uses of those fields.
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if inAtomicArg[sel.Sel] {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			if name, mixed := atomicFields[obj]; mixed {
+				out = append(out, Finding{
+					Pos:  pkg.Fset.Position(sel.Pos()),
+					Rule: "sync-discipline",
+					Msg:  fmt.Sprintf("field %s is accessed plainly here but atomically elsewhere; pick one discipline", name),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isWaitGroupMethod reports whether the call is sync.WaitGroup.<name>.
+func isWaitGroupMethod(pkg *Package, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(pkg *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == name && pkg.Info.Uses[id] == types.Universe.Lookup(name)
+}
+
+// isAtomicPkgCall reports whether the call targets a sync/atomic
+// package-level function (the method-based atomic.Int64 family is safe
+// by construction and not matched).
+func isAtomicPkgCall(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

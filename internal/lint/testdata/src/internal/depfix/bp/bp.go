@@ -1,0 +1,22 @@
+// Package bp mirrors the real predictor package's registry surface just
+// enough to exercise the dep-api rule and its rename fix.
+package bp
+
+// Predictor is the two-level prediction contract.
+type Predictor interface {
+	Predict(pc uint64) bool
+	Update(pc uint64)
+}
+
+// Parse resolves a predictor spec string.
+func Parse(s string) (Predictor, error) { return nil, nil }
+
+// ParseEnv resolves a spec string.
+//
+// Deprecated: ParseEnv is Parse under its pre-v2 name.
+func ParseEnv(s string) (Predictor, error) { return Parse(s) }
+
+// Legacy is the old configuration knob.
+//
+// Deprecated: Legacy has no effect.
+type Legacy struct{}

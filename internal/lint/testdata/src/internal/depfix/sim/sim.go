@@ -1,0 +1,79 @@
+// Package sim mirrors the real simulation package's Simulate entry
+// point and its deprecated Run* wrapper family; the wrappers' bodies are
+// exempt from dep-api (deprecated code may reference itself) while every
+// outside caller is flagged and mechanically rewritten by -fix.
+package sim
+
+import "testmod/internal/depfix/bp"
+
+// Trace is a stand-in branch trace.
+type Trace struct{ Name string }
+
+// Result is one predictor's outcome.
+type Result struct{ Correct, Total int }
+
+// Timeline is one predictor's bucketed accuracy curve.
+type Timeline struct{ Acc []float64 }
+
+// Options configures Simulate.
+type Options struct {
+	Parallel       bool
+	BucketSize     int
+	ForceReference bool
+}
+
+// Outcome carries everything one Simulate call produced.
+type Outcome struct {
+	Results   []*Result
+	Timelines []*Timeline
+}
+
+// Simulate drives every predictor over the trace.
+func Simulate(t *Trace, predictors []bp.Predictor, opts Options) *Outcome {
+	out := &Outcome{Results: make([]*Result, len(predictors))}
+	for i := range out.Results {
+		out.Results[i] = &Result{}
+	}
+	if opts.BucketSize > 0 {
+		out.Timelines = make([]*Timeline, len(predictors))
+		for i := range out.Timelines {
+			out.Timelines[i] = &Timeline{}
+		}
+	}
+	return out
+}
+
+// Run is the legacy entry point.
+//
+// Deprecated: Run is Simulate with zero Options.
+func Run(t *Trace, predictors ...bp.Predictor) []*Result {
+	return Simulate(t, predictors, Options{}).Results
+}
+
+// RunOne is a single-predictor convenience.
+//
+// Deprecated: RunOne is Simulate with one predictor.
+func RunOne(t *Trace, p bp.Predictor) *Result {
+	return Simulate(t, []bp.Predictor{p}, Options{}).Results[0]
+}
+
+// RunReference forces the reference engine.
+//
+// Deprecated: RunReference is Simulate with Options.ForceReference.
+func RunReference(t *Trace, predictors ...bp.Predictor) []*Result {
+	return Simulate(t, predictors, Options{ForceReference: true}).Results
+}
+
+// RunTimeline records bucketed accuracy.
+//
+// Deprecated: RunTimeline is Simulate with Options.BucketSize.
+func RunTimeline(t *Trace, bucketSize int, predictors ...bp.Predictor) []*Timeline {
+	return Simulate(t, predictors, Options{BucketSize: bucketSize}).Timelines
+}
+
+// RunConcurrent fans predictors out across workers.
+//
+// Deprecated: RunConcurrent is Simulate with Options.Parallel.
+func RunConcurrent(t *Trace, predictors ...bp.Predictor) []*Result {
+	return Simulate(t, predictors, Options{Parallel: true}).Results
+}

@@ -1,0 +1,32 @@
+// Package use calls the deprecated wrapper family; every call line must
+// be flagged by dep-api, and -fix must rewrite each call (the bare
+// function-value reference and the deprecated type use have no
+// mechanical fix and survive as findings).
+package use
+
+import (
+	"testmod/internal/depfix/bp"
+	"testmod/internal/depfix/sim"
+)
+
+// Demo exercises every deprecated entry point.
+func Demo(t *sim.Trace, a, b bp.Predictor) int {
+	preds := []bp.Predictor{a, b}
+	results := sim.Run(t, a, b)            // want dep-api
+	one := sim.RunOne(t, a)                // want dep-api
+	ref := sim.RunReference(t, preds...)   // want dep-api
+	lines := sim.RunTimeline(t, 100, a, b) // want dep-api
+	conc := sim.RunConcurrent(t, preds...) // want dep-api
+	p, _ := bp.ParseEnv("gshare(16)")      // want dep-api
+	direct := sim.Simulate(t, preds, sim.Options{Parallel: true})
+	_ = p
+	return len(results) + one.Total + len(ref) + len(lines) + len(conc) + len(direct.Results)
+}
+
+// Hold keeps a function-value reference (not auto-fixable) and a
+// deprecated type (ditto).
+func Hold() any {
+	var cfg bp.Legacy // want dep-api
+	_ = cfg
+	return sim.Run // want dep-api
+}

@@ -1,0 +1,96 @@
+// Package hotfix seeds kernel-purity and bce-hoist violations. Hot
+// roots are the SimulateBlock method (implicit) and the //bplint:hot
+// annotated stream function; everything they call is hot-reachable.
+package hotfix
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// Block mimics the columnar kernel input.
+type Block struct {
+	IDs    []int32
+	Taken  []bool
+	limits [4]int
+}
+
+// Observer is consulted per branch through an interface.
+type Observer interface{ Note(id int32) }
+
+// Kernel is a fake kernel predictor; its SimulateBlock is a hot root.
+type Kernel struct {
+	table   []int8
+	counts  map[int32]int
+	scratch []int32
+	obs     Observer
+}
+
+func (k *Kernel) SimulateBlock(blk Block) int {
+	n := 0
+	ids := blk.IDs
+	k.scratch = k.scratch[:0]
+	for i := 0; i < len(blk.IDs); i++ { // want bce-hoist
+		id := ids[i]
+		n += int(k.table[id&int32(127)]) // want bce-hoist
+		n += k.counts[id]                // want kernel-purity
+		n += blk.limits[i&3]             // array selector: allowed
+		k.scratch = append(k.scratch, id)
+		n += pick(n, int(id))
+	}
+	for _, id := range ids {
+		tmp := make([]int, 4)       // want kernel-purity
+		n += tmp[0] + grow(int(id)) // want kernel-purity
+		var local []int32
+		local = append(local, id) // want kernel-purity
+		_ = local
+		k.obs.Note(id) // want kernel-purity
+	}
+	return n
+}
+
+//bplint:hot
+func scoreStream(ids []int32, tbl []int8, box *int) int {
+	fmt.Sprint(len(ids)) // want kernel-purity
+	mask := int32(len(tbl) - 1)
+	n := 0
+	var sink any
+	for _, id := range ids {
+		n += int(tbl[id&mask])
+		n += bits.OnesCount32(uint32(id))
+		sink = *box                  // want kernel-purity
+		_ = strconv.Itoa(n)          // want kernel-purity
+		f := func() int { return n } // want kernel-purity
+		_ = f
+		note(id)          // want kernel-purity
+		n += k2lookup(id) //bplint:ignore kernel-purity fixture: demonstrates justified suppression
+	}
+	_ = sink
+	return n
+}
+
+// grow allocates, so hot-loop calls to it are impure.
+func grow(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+
+// note is allocation-free itself, but passing a concrete value to its
+// interface parameter boxes at every hot call site.
+func note(v any) {}
+
+// pick is allocation-free and fine to call per branch.
+func pick(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// k2lookup allocates (map literal) but every hot call site suppresses
+// the finding with a justified ignore.
+func k2lookup(id int32) int {
+	m := map[int32]int{id: 1}
+	return m[id]
+}

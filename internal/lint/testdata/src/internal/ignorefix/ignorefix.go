@@ -1,0 +1,28 @@
+// Package ignorefix seeds //bplint:ignore hygiene violations for the
+// ignore-reason fixture tests (run with -rules det-time,ignore-reason).
+// Because a directive shares its line with the finding it suppresses,
+// the expectations here use /* want ... */ block comments.
+package ignorefix
+
+import "time"
+
+// Good suppresses a real finding and says why: clean.
+func Good() time.Time {
+	return time.Now() //bplint:ignore det-time fixture exercises a justified wall-clock suppression
+}
+
+// NoReason suppresses a real finding but never says why.
+func NoReason() time.Time {
+	return time.Now() /* want ignore-reason */ //bplint:ignore det-time
+}
+
+// Stale carries a directive for a rule that stopped firing here.
+func Stale() int {
+	return 4 /* want ignore-reason */ //bplint:ignore det-time the clock call was removed long ago
+}
+
+// Blanket uses the "all" form, which is only judged for staleness under
+// the full rule set; this run selects a subset, so it passes.
+func Blanket() int {
+	return 5 //bplint:ignore all blanket form judged only under the full rule set
+}

@@ -1,0 +1,83 @@
+// Package syncfix seeds concurrency-hygiene violations for the
+// sync-discipline fixture tests.
+package syncfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Leak launches a goroutine nothing can wait for.
+func Leak() {
+	go func() { // want sync-discipline
+		_ = 1 + 1
+	}()
+}
+
+// AddInside races Add against Wait.
+func AddInside() {
+	var wg sync.WaitGroup
+	go func() { // want sync-discipline
+		wg.Add(1) // want sync-discipline
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// MissingAdd calls Done with no visible Add.
+func MissingAdd() {
+	var wg sync.WaitGroup
+	go func() { // want sync-discipline
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Clean pairs Add before go with a deferred Done.
+func Clean() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// CleanChan joins through a channel send.
+func CleanChan() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// CleanClose joins through close.
+func CleanClose() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// stats mixes atomic and plain access on hits; misses is plain-only and
+// fine.
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+// Bump updates hits atomically.
+func (s *stats) Bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// Read races Bump: plain load of an atomically written field.
+func (s *stats) Read() int64 {
+	return s.hits // want sync-discipline
+}
+
+// ReadSafe loads hits through the same discipline Bump writes it.
+func (s *stats) ReadSafe() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Miss touches the plain-only counter.
+func (s *stats) Miss() { s.misses++ }
