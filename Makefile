@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim
+.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim fuzz
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -43,6 +43,16 @@ lint-sarif:
 # baselined findings down.
 baseline:
 	$(GO) run ./cmd/bplint -baseline lint/baseline.json -update-baseline ./...
+
+# fuzz runs every native fuzz target for FUZZTIME each (CI's fuzz-smoke
+# job uses 30s). Plain `go test` already replays the committed seed
+# corpora under testdata/fuzz/ as regression tests.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz 'FuzzTraceRead' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz 'FuzzReadBlocks' -fuzztime $(FUZZTIME) -run '^$$' ./internal/trace/
+	$(GO) test -fuzz 'FuzzCorpusDecode' -fuzztime $(FUZZTIME) -run '^$$' ./internal/corpus/
+	$(GO) test -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) -run '^$$' ./internal/bp/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -39,7 +39,8 @@ func main() {
 		workload  = flag.String("workload", "", "generate this workload instead of reading a trace")
 		n         = flag.Int("n", 500_000, "trace length when using -workload")
 		perBranch = flag.Bool("per-branch", false, "print per-branch accuracies (sorted by misses)")
-		stream    = flag.Bool("stream", false, "stream the trace file record-by-record (constant memory; -trace only)")
+		stream    = flag.Bool("stream", false, "stream the trace file in bounded-memory column chunks (-trace only)")
+		chunkLen  = flag.Int("chunk", 1<<16, "records per streamed chunk with -stream")
 		top       = flag.Int("top", 20, "per-branch rows to print")
 		listSpecs = flag.Bool("specs", false, "list example predictor specs and exit")
 		metrics   = flag.String("metrics", "", "write the obs metrics snapshot (JSON) to this file at exit")
@@ -100,17 +101,20 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		sc, err := trace.NewScanner(f)
+		// The chunked block source keeps O(chunk) column memory resident
+		// and lets predictor kernels engage exactly as in-memory runs do;
+		// results are bit-identical to the non-streamed path.
+		src, err := trace.ReadBlocks(f, *chunkLen)
 		if err != nil {
 			fatal(err)
 		}
 		var out *sim.Outcome
-		out, err = sim.SimulateScanner(sc, predictors, sim.Options{Observer: reg})
+		out, err = sim.SimulateBlocks(src, predictors, sim.Options{Observer: reg})
 		if err != nil {
 			fatal(err)
 		}
 		results = out.Results
-		header = fmt.Sprintf("trace %s (streamed): %d dynamic branches", sc.Name(), results[0].Total)
+		header = fmt.Sprintf("trace %s (streamed): %d dynamic branches", src.Name(), results[0].Total)
 	} else {
 		tr, err := loadTrace(*tracePath, *workload, *n)
 		if err != nil {

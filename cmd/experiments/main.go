@@ -12,6 +12,7 @@
 //	experiments -workloads gcc,go -n 2000000
 //	experiments -parallel 1             # sequential execution
 //	experiments -p gshare:14 -p tage    # extra exhibit with custom predictors
+//	experiments -corpus traces/         # reuse generated traces across runs
 //	experiments -metrics out.json       # write the metrics snapshot at exit
 //	experiments -debug-addr :6060       # live expvar + pprof + /metrics
 //	experiments -cpuprofile cpu.pb.gz   # profile the run (go tool pprof)
@@ -52,6 +53,7 @@ type options struct {
 	memprofile string
 	metrics    string
 	debugAddr  string
+	corpusDir  string
 	specs      []string
 }
 
@@ -68,6 +70,7 @@ func main() {
 	flag.StringVar(&o.memprofile, "memprofile", "", "write an allocation profile to this file at exit")
 	flag.StringVar(&o.metrics, "metrics", "", "write the obs metrics snapshot (JSON) to this file at exit")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar, pprof, and /metrics on this address (e.g. localhost:6060)")
+	flag.StringVar(&o.corpusDir, "corpus", "", "content-addressed trace store directory: load traces from it when present, generate and store otherwise")
 	flag.Var(&specs, "p", "extra predictor spec to evaluate across all workloads (repeatable; see bpsim -specs)")
 	flag.Parse()
 	o.specs = specs
@@ -136,7 +139,7 @@ func run(o options) (err error) {
 		}()
 	}
 
-	cfg := experiments.Config{Length: o.n, ExtraSpecs: o.specs}
+	cfg := experiments.Config{Length: o.n, ExtraSpecs: o.specs, CorpusDir: o.corpusDir}
 	if o.wls != "" {
 		cfg.Workloads = strings.Split(o.wls, ",")
 	}

@@ -6,6 +6,11 @@
 //	tracegen -list
 //	tracegen -workload gcc -n 2000000 -o gcc.btr
 //	tracegen -all -n 1000000 -dir traces/
+//	tracegen -all -n 1000000 -corpus corpus/   # populate the store, skip existing
+//
+// With -corpus, traces go into a content-addressed store (internal/corpus)
+// keyed by (workload, n, generator revision) instead of .btr files;
+// workloads whose entry already exists are skipped entirely.
 package main
 
 import (
@@ -14,6 +19,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"branchcorr/internal/corpus"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/trace"
 	"branchcorr/internal/workloads"
 )
@@ -26,6 +33,7 @@ func main() {
 		n        = flag.Int("n", workloads.DefaultLength, "dynamic conditional branches per trace")
 		out      = flag.String("o", "", "output file (default <workload>.btr)")
 		dir      = flag.String("dir", ".", "output directory for -all")
+		cdir     = flag.String("corpus", "", "content-addressed store directory: write entries there (skipping existing) instead of .btr files")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -38,11 +46,23 @@ func main() {
 		}
 		return
 	}
+	var store *corpus.Store
+	if *cdir != "" {
+		var err error
+		if store, err = corpus.Open(*cdir, obs.Default()); err != nil {
+			fatal(err)
+		}
+	}
+	emit := func(w workloads.Workload, path string) error {
+		if store != nil {
+			return intoCorpus(store, w, *n)
+		}
+		return generate(w, *n, path)
+	}
 	switch {
 	case *all:
 		for _, w := range workloads.All() {
-			path := filepath.Join(*dir, w.Name()+".btr")
-			if err := generate(w, *n, path); err != nil {
+			if err := emit(w, filepath.Join(*dir, w.Name()+".btr")); err != nil {
 				fatal(err)
 			}
 		}
@@ -55,7 +75,7 @@ func main() {
 		if path == "" {
 			path = w.Name() + ".btr"
 		}
-		if err := generate(w, *n, path); err != nil {
+		if err := emit(w, path); err != nil {
 			fatal(err)
 		}
 	default:
@@ -81,6 +101,24 @@ func generate(w workloads.Workload, n int, path string) error {
 	st := trace.Summarize(tr)
 	fmt.Printf("%s: %d branches, %d static sites, %.1f%% taken -> %s\n",
 		tr.Name(), st.Dynamic, st.Static, 100*st.TakenRate(), path)
+	return nil
+}
+
+// intoCorpus stores the workload's trace under its content address,
+// skipping generation when the entry already exists.
+func intoCorpus(st *corpus.Store, w workloads.Workload, n int) error {
+	key := corpus.Key(w.Name(), n, workloads.Revision)
+	if st.Has(key) {
+		fmt.Printf("%s: corpus hit, skipping generation -> %s\n", w.Name(), st.Path(key))
+		return nil
+	}
+	tr := w.Generate(n)
+	if err := st.PutPacked(key, tr.Packed()); err != nil {
+		return err
+	}
+	st1 := trace.Summarize(tr)
+	fmt.Printf("%s: %d branches, %d static sites, %.1f%% taken -> %s\n",
+		tr.Name(), st1.Dynamic, st1.Static, 100*st1.TakenRate(), st.Path(key))
 	return nil
 }
 

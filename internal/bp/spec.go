@@ -101,7 +101,17 @@ type Env struct {
 //	tage
 //	profiled-gshare:HISTBITS         (requires Env.Trace)
 //	hybrid:(SPEC),(SPEC),CHOOSERBITS
-func Parse(spec string, env Env) (Predictor, error) {
+func Parse(spec string, env Env) (p Predictor, err error) {
+	// Constructors reject out-of-range geometries with a panic (they are
+	// API-misuse guards); a textual spec is user input, so surface those
+	// as ParseErrors like every other invalid spec. Every guard fires
+	// before its table allocation, so no oversized make happens first —
+	// FuzzParse pins both properties.
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, &ParseError{Spec: spec, Token: spec, Kind: ErrBadParam, Reason: fmt.Sprint(r)}
+		}
+	}()
 	name, args, _ := strings.Cut(spec, ":")
 	name = strings.TrimSpace(name)
 	badParam := func(token, format string, a ...any) error {

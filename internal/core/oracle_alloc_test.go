@@ -17,7 +17,7 @@ func TestOracleEmitterAllocs(t *testing.T) {
 	tr := randomTrace(7, 30_000, 48)
 	pt := tr.Packed()
 	for _, windowLen := range []int{4, 16, 32} {
-		em := newOracleEmitter(pt, windowLen)
+		em := newPackedEmitter(pt, windowLen)
 		for i := 0; i < tr.Len(); i++ {
 			em.emit(i)
 		}
@@ -44,20 +44,20 @@ func TestCollectStreamAllocs(t *testing.T) {
 			continue
 		}
 		if rid, ok := pt.IDOf(pc); ok {
-			bm := newBeamMatcher(pt, c.Refs, c.Total)
+			bm := newBeamMatcher(pt.IDOf, c.Refs, c.Total)
 			matchers[rid] = bm
 			all = append(all, bm)
 		}
 	}
-	em := newOracleEmitter(pt, cfg.WindowLen)
-	collectStream(pt, em, matchers) // warm the emitter scratch
+	em := newPackedEmitter(pt, cfg.WindowLen)
+	collectRange(em, matchers, 0, pt.Len()) // warm the emitter scratch
 	allocs := testing.AllocsPerRun(3, func() {
 		for _, bm := range all {
 			bm.m.vecs = bm.m.vecs[:0]
 			bm.m.outs = bm.m.outs[:0]
 			bm.m.n = 0
 		}
-		collectStream(pt, em, matchers)
+		collectRange(em, matchers, 0, pt.Len())
 	})
 	if allocs != 0 {
 		t.Errorf("collectStream allocates %.1f per full replay, want 0", allocs)

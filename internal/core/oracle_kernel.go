@@ -90,9 +90,18 @@ type emitScratch struct {
 // counts and backward-segment dedup use epoch-stamped scratch indexed by
 // dense branch ID, so each window entry costs O(1) instead of a linear
 // scan over the PCs seen so far.
+//
+// The emitter works over raw packed columns, not a *trace.Packed: the
+// in-memory path hands it the full packed columns once, while the
+// streaming path (oracle_blocks.go) re-points it at a carry+chunk window
+// per block and grows the scratch as the intern table grows. Both paths
+// run the identical emit loop.
 type oracleEmitter struct {
-	pt *trace.Packed
-	n  int // window length
+	n int // window length
+
+	ids   []int32  // dense-ID column currently in view
+	taken []uint64 // taken bitset, bit i = column record i
+	back  []uint64 // backward bitset
 
 	scratch []emitScratch // per dense ID
 	gen     uint64        // current emit generation
@@ -101,16 +110,50 @@ type oracleEmitter struct {
 	keys []uint64 // emitted packed ref keys | direction bit, Visit order
 }
 
-func newOracleEmitter(pt *trace.Packed, windowLen int) *oracleEmitter {
+func newOracleEmitter(windowLen int) *oracleEmitter {
 	if windowLen <= 0 {
 		panic(fmt.Sprintf("core: window length %d must be positive", windowLen))
 	}
 	return &oracleEmitter{
-		pt:      pt,
-		n:       windowLen,
-		scratch: make([]emitScratch, pt.NumBranches()),
-		keys:    make([]uint64, 0, 2*windowLen),
+		n:    windowLen,
+		keys: make([]uint64, 0, 2*windowLen),
 	}
+}
+
+// newPackedEmitter points a fresh emitter at a packed view's full columns.
+func newPackedEmitter(pt *trace.Packed, windowLen int) *oracleEmitter {
+	e := newOracleEmitter(windowLen)
+	e.setColumns(pt.IDs(), pt.TakenWords(), pt.BackwardWords())
+	e.growScratch(pt.NumBranches())
+	return e
+}
+
+// setColumns re-points the emitter at a column view. Epoch stamps stay
+// valid across calls: scratch state is per-emit, never per-column.
+func (e *oracleEmitter) setColumns(ids []int32, taken, back []uint64) {
+	e.ids, e.taken, e.back = ids, taken, back
+}
+
+// growScratch extends the per-ID scratch to cover nb dense IDs; existing
+// stamps are preserved (they only compare against the current emit
+// generation, and zero never matches a positive generation).
+func (e *oracleEmitter) growScratch(nb int) {
+	if nb <= len(e.scratch) {
+		return
+	}
+	grown := make([]emitScratch, nb)
+	copy(grown, e.scratch)
+	e.scratch = grown
+}
+
+// taken1 reports column record p's direction.
+func (e *oracleEmitter) taken1(p int) bool {
+	return e.taken[p>>6]>>(uint(p)&63)&1 != 0
+}
+
+// back1 reports whether column record p is a backward branch.
+func (e *oracleEmitter) back1(p int) bool {
+	return e.back[p>>6]>>(uint(p)&63)&1 != 0
 }
 
 // emit fills e.keys with the tagged instances visible from trace
@@ -129,12 +172,12 @@ func (e *oracleEmitter) emit(i int) {
 	if lo < 0 {
 		lo = 0
 	}
-	ids := e.pt.IDs()
+	ids := e.ids
 	scratch := e.scratch
 	for p := i - 1; p >= lo; p-- {
 		rid := ids[p]
 		tb := uint64(0)
-		tk := e.pt.Taken(p)
+		tk := e.taken1(p)
 		if tk {
 			tb = refKeyTakenBit
 		}
@@ -159,7 +202,7 @@ func (e *oracleEmitter) emit(i int) {
 			sc.segGen = e.seg
 			e.keys = append(e.keys, refKeyBack(rid, backs)|tb)
 		}
-		if tk && e.pt.Backward(p) && backs < 255 {
+		if tk && e.back1(p) && backs < 255 {
 			backs++
 			e.seg++ // new segment: fresh dedup stamps
 		}
@@ -291,21 +334,26 @@ func (p *kernelProfile) profileScore(e *candEntry) uint32 {
 // ReferenceProfileCandidates.
 func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]*Candidates {
 	cfg = cfg.withDefaults()
-	reg := obs.Or(cfg.Obs)
-	defer reg.StartSpan("core.oracle.profile").End()
-	nb := pt.NumBranches()
+	defer obs.Or(cfg.Obs).StartSpan("core.oracle.profile").End()
 	addrs := pt.Addrs()
-	profiles := make([]kernelProfile, nb)
+	profiles := make([]kernelProfile, pt.NumBranches())
 	for id := range profiles {
 		profiles[id].tab.init()
 	}
-	em := newOracleEmitter(pt, cfg.WindowLen)
-	profileStream(pt, em, profiles, cfg, addrs)
+	em := newPackedEmitter(pt, cfg.WindowLen)
+	profileRange(em, profiles, cfg, addrs, 0, pt.Len())
+	return assembleCandidates(profiles, addrs, cfg)
+}
 
-	result := make(map[trace.Addr]*Candidates, nb)
+// assembleCandidates turns pass 1's per-branch candidate tables into the
+// ranked Candidates map — the shared tail of the packed and streaming
+// profile entry points.
+func assembleCandidates(profiles []kernelProfile, addrs []trace.Addr, cfg OracleConfig) map[trace.Addr]*Candidates {
+	reg := obs.Or(cfg.Obs)
+	result := make(map[trace.Addr]*Candidates, len(profiles))
 	var scratch []scoredRef
 	var prunes, occupancy int64
-	for id := 0; id < nb; id++ {
+	for id := range profiles {
 		p := &profiles[id]
 		prunes += int64(p.tab.prunes)
 		occupancy += int64(len(p.tab.cands))
@@ -329,19 +377,21 @@ func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]
 	return result
 }
 
-// profileStream is pass 1's per-record loop: emit the window at every
-// trace position and count each emitted candidate into the branch's
-// flat table, hand-inlining the table hit path.
+// profileRange is pass 1's per-record loop over emitter column positions
+// [lo, hi): emit the window at every position and count each emitted
+// candidate into the branch's flat table, hand-inlining the table hit
+// path. The packed path runs it once over the whole column; the
+// streaming path runs it once per chunk with lo at the carry boundary.
 //
 //bplint:hot
-func profileStream(pt *trace.Packed, em *oracleEmitter, profiles []kernelProfile, cfg OracleConfig, addrs []trace.Addr) {
+func profileRange(em *oracleEmitter, profiles []kernelProfile, cfg OracleConfig, addrs []trace.Addr, lo, hi int) {
 	allowOcc := cfg.schemeAllowed(Occurrence)
 	allowBack := cfg.schemeAllowed(BackwardCount)
-	ids := pt.IDs()
-	for i := range ids {
+	ids := em.ids
+	for i := lo; i < hi; i++ {
 		p := &profiles[ids[i]]
 		out := uint32(1)
-		if pt.Taken(i) {
+		if em.taken1(i) {
 			out = 0
 		}
 		p.total[out]++
@@ -404,7 +454,11 @@ type beamMatcher struct {
 	m         instMatrix
 }
 
-func newBeamMatcher(pt *trace.Packed, refs []Ref, total int) *beamMatcher {
+// newBeamMatcher builds a matcher for one branch's beam. idOf resolves a
+// PC to its dense ID in the trace's intern table (the packed path passes
+// pt.IDOf; the streaming path closes over the complete table produced by
+// the profile pass).
+func newBeamMatcher(idOf func(trace.Addr) (int32, bool), refs []Ref, total int) *beamMatcher {
 	bm := &beamMatcher{k: len(refs), fullMask: uint32(1)<<uint(len(refs)) - 1}
 	for slot := 0; slot < len(refs); slot++ {
 		bm.absentVec |= uint64(StateAbsent) << (2 * uint(slot))
@@ -415,7 +469,7 @@ func newBeamMatcher(pt *trace.Packed, refs []Ref, total int) *beamMatcher {
 	}
 	pairs := make([]keySlot, 0, len(refs))
 	for slot, r := range refs {
-		rid, ok := pt.IDOf(r.PC)
+		rid, ok := idOf(r.PC)
 		if !ok {
 			// A ref naming a PC absent from the trace can never be in any
 			// window: it stays StateAbsent, exactly like the reference's
@@ -477,36 +531,54 @@ func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg Or
 	cfg = cfg.withDefaults()
 	defer obs.Or(cfg.Obs).StartSpan("core.oracle.select").End()
 
-	// Canonical branch order: candidate-map keys, sorted. Cells are
-	// created in this order, so scoring is deterministic at any
-	// parallelism.
+	pcs := sortedPCs(cands)
+	matchers, matcherOf := buildMatchers(pcs, cands, pt.NumBranches(), pt.IDOf)
+
+	// Collection stream: one pass over the trace, one packed state
+	// vector per dynamic instance.
+	em := newPackedEmitter(pt, cfg.WindowLen)
+	collectRange(em, matchers, 0, pt.Len())
+
+	return scoreSelections(pcs, cands, matcherOf, cfg)
+}
+
+// sortedPCs returns the canonical branch order: candidate-map keys,
+// sorted. Scoring cells are created in this order, so the Selections are
+// deterministic at any parallelism.
+func sortedPCs(cands map[trace.Addr]*Candidates) []trace.Addr {
 	pcs := make([]trace.Addr, 0, len(cands))
 	for pc := range cands {
 		pcs = append(pcs, pc)
 	}
 	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
 
-	matchers := make([]*beamMatcher, pt.NumBranches())
+// buildMatchers constructs one beam matcher per branch with a non-empty
+// beam, both dense-ID indexed (for the collection loop) and keyed by PC
+// (for the scoring stage).
+func buildMatchers(pcs []trace.Addr, cands map[trace.Addr]*Candidates, nb int, idOf func(trace.Addr) (int32, bool)) ([]*beamMatcher, map[trace.Addr]*beamMatcher) {
+	matchers := make([]*beamMatcher, nb)
 	matcherOf := make(map[trace.Addr]*beamMatcher, len(cands))
 	for _, pc := range pcs {
 		c := cands[pc]
 		if len(c.Refs) == 0 {
 			continue
 		}
-		bm := newBeamMatcher(pt, c.Refs, c.Total)
+		bm := newBeamMatcher(idOf, c.Refs, c.Total)
 		matcherOf[pc] = bm
-		if rid, ok := pt.IDOf(pc); ok {
+		if rid, ok := idOf(pc); ok {
 			matchers[rid] = bm
 		}
 	}
+	return matchers, matcherOf
+}
 
-	// Collection stream: one pass over the trace, one packed state
-	// vector per dynamic instance.
-	em := newOracleEmitter(pt, cfg.WindowLen)
-	collectStream(pt, em, matchers)
-
-	// Scoring stage: per-branch, embarrassingly parallel, pre-assigned
-	// result slots.
+// scoreSelections runs the off-trace scoring stage — per-branch,
+// embarrassingly parallel, pre-assigned result slots — and assembles the
+// Selections. Shared tail of the packed and streaming select entry
+// points.
+func scoreSelections(pcs []trace.Addr, cands map[trace.Addr]*Candidates, matcherOf map[trace.Addr]*beamMatcher, cfg OracleConfig) *Selections {
 	results := make([]branchSelection, len(pcs))
 	cells := make([]runner.Cell, 0, len(pcs))
 	for i, pc := range pcs {
@@ -545,16 +617,16 @@ func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg Or
 	return sel
 }
 
-// collectStream is the folded pass-2/3 per-record loop: for every
-// dynamic instance of a branch with a beam, resolve the window's
-// emissions against the beam and push the packed state vector. The
-// active matcher changes every record, so its headers cannot hoist
-// above the record loop.
+// collectRange is the folded pass-2/3 per-record loop over emitter
+// column positions [lo, hi): for every dynamic instance of a branch with
+// a beam, resolve the window's emissions against the beam and push the
+// packed state vector. The active matcher changes every record, so its
+// headers cannot hoist above the record loop.
 //
 //bplint:hot
-func collectStream(pt *trace.Packed, em *oracleEmitter, matchers []*beamMatcher) {
-	ids := pt.IDs()
-	for i := range ids {
+func collectRange(em *oracleEmitter, matchers []*beamMatcher, lo, hi int) {
+	ids := em.ids
+	for i := lo; i < hi; i++ {
 		bm := matchers[ids[i]]
 		if bm == nil {
 			continue
@@ -582,7 +654,7 @@ func collectStream(pt *trace.Packed, em *oracleEmitter, matchers []*beamMatcher)
 				break
 			}
 		}
-		bm.m.push(vec, pt.Taken(i)) //bplint:ignore kernel-purity matrix buffers are preallocated to the branch's instance count in newBeamMatcher; pushes never grow
+		bm.m.push(vec, em.taken1(i)) //bplint:ignore kernel-purity matrix buffers are preallocated to the branch's instance count in newBeamMatcher; pushes never grow
 	}
 }
 

@@ -1,0 +1,388 @@
+// Package corpus is the content-addressed store for packed branch
+// traces: generation-expensive workload traces are encoded once in a
+// chunked columnar binary format (BPK1) keyed by a hash of their
+// identity (workload, length, generator revision), then loaded — or
+// streamed chunk by chunk in bounded memory — on every later run.
+//
+// BPK1 layout (all integers little-endian, fixed width):
+//
+//	magic       [4]byte  "BPK1"
+//	version     uint32   currently 1
+//	nameLen     uint32   then nameLen bytes of trace name
+//	recordCount uint64   dynamic branches
+//	branchCount uint64   static branch sites (intern table length)
+//	chunkLen    uint32   records per chunk (>= 1); every chunk is full
+//	                     except the last
+//	chunkCount  uint32   must equal ceil(recordCount/chunkLen)
+//	intern      branchCount × uint32   PC of dense ID i, first-appearance order
+//	chunks      chunkCount × { n uint32, ids n×int32,
+//	                           taken ceil(n/64)×uint64, back ceil(n/64)×uint64 }
+//
+// Decoding is strict and canonical: version, chunk sizing, dense
+// first-appearance ID order, zero bitset tail padding, and exact EOF
+// after the last chunk are all enforced, so every decodable file
+// re-encodes byte-identically (decode∘encode = identity; the fuzz
+// target pins this) and no header field can demand an allocation larger
+// than the bytes actually present.
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"branchcorr/internal/trace"
+)
+
+// DefaultChunkLen is the encode-side records-per-chunk: 64K records =
+// 256KB of IDs + 16KB of bitsets resident per streamed chunk.
+const DefaultChunkLen = 1 << 16
+
+var magic = [4]byte{'B', 'P', 'K', '1'}
+
+const (
+	formatVersion = 1
+	maxNameLen    = 1 << 20
+	// maxChunkLen bounds the per-chunk column allocation a header can
+	// demand (16M records = 64MB of IDs).
+	maxChunkLen = 1 << 24
+	// batchRecords bounds single reads while decoding untrusted counts:
+	// buffers grow with bytes actually read, never with claimed counts.
+	batchRecords = 1 << 14
+)
+
+var errTrailingData = errors.New("corpus: data after final chunk")
+
+// Reader streams a BPK1 file's chunks as a trace.BlockSource. The
+// intern table is read up front (it is the header's), so Addrs() is
+// complete from the start; dense-ID order is still validated
+// incrementally as chunks arrive.
+type Reader struct {
+	br       *bufio.Reader
+	name     string
+	addrs    []trace.Addr
+	chunkLen int
+
+	remaining  uint64 // records not yet yielded
+	chunksLeft uint32
+	seen       int // dense IDs observed so far
+
+	ids   []int32
+	taken []uint64
+	back  []uint64
+
+	err  error
+	done bool
+
+	scratch [8]byte
+	batch   [8 * batchRecords]byte
+}
+
+func (r *Reader) u32() (uint32, error) {
+	if _, err := io.ReadFull(r.br, r.scratch[:4]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(r.scratch[:4]), nil
+}
+
+func (r *Reader) u64() (uint64, error) {
+	if _, err := io.ReadFull(r.br, r.scratch[:8]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(r.scratch[:8]), nil
+}
+
+// NewReader validates the header and intern table and positions the
+// stream at the first chunk.
+func NewReader(rd io.Reader) (*Reader, error) {
+	r := &Reader{br: bufio.NewReader(rd)}
+	if _, err := io.ReadFull(r.br, r.scratch[:4]); err != nil {
+		return nil, fmt.Errorf("corpus: magic: %w", err)
+	}
+	if [4]byte(r.scratch[:4]) != magic {
+		return nil, fmt.Errorf("corpus: bad magic %q", r.scratch[:4])
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: version: %w", err)
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("corpus: unsupported version %d", ver)
+	}
+	nameLen, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: name length: %w", err)
+	}
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("corpus: name length %d exceeds limit %d", nameLen, maxNameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r.br, name); err != nil {
+		return nil, fmt.Errorf("corpus: name: %w", err)
+	}
+	r.name = string(name)
+	records, err := r.u64()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: record count: %w", err)
+	}
+	branches, err := r.u64()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: branch count: %w", err)
+	}
+	chunkLen, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: chunk length: %w", err)
+	}
+	if chunkLen == 0 || chunkLen > maxChunkLen {
+		return nil, fmt.Errorf("corpus: chunk length %d out of range [1, %d]", chunkLen, maxChunkLen)
+	}
+	chunks, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("corpus: chunk count: %w", err)
+	}
+	if want := (records + uint64(chunkLen) - 1) / uint64(chunkLen); uint64(chunks) != want {
+		return nil, fmt.Errorf("corpus: chunk count %d, want %d for %d records at chunk length %d",
+			chunks, want, records, chunkLen)
+	}
+	if branches > records {
+		return nil, fmt.Errorf("corpus: %d branch sites exceed %d records", branches, records)
+	}
+	// The intern table is read in bounded batches so a fabricated
+	// branchCount cannot demand more memory than the file supplies.
+	for uint64(len(r.addrs)) < branches {
+		n := branches - uint64(len(r.addrs))
+		if n > batchRecords {
+			n = batchRecords
+		}
+		buf := r.batch[:4*n]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, fmt.Errorf("corpus: intern table: %w", err)
+		}
+		for i := uint64(0); i < n; i++ {
+			r.addrs = append(r.addrs, trace.Addr(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	seen := make(map[trace.Addr]struct{}, min(int(branches), batchRecords))
+	for _, a := range r.addrs {
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("corpus: duplicate intern entry %#x", uint32(a))
+		}
+		seen[a] = struct{}{}
+	}
+	r.remaining = records
+	r.chunksLeft = chunks
+	r.chunkLen = int(chunkLen)
+	return r, nil
+}
+
+// Name returns the stored trace name.
+func (r *Reader) Name() string { return r.name }
+
+// Addrs returns the complete intern table (PC of dense ID i).
+func (r *Reader) Addrs() []trace.Addr { return r.addrs }
+
+// ChunkLen returns the stored records-per-chunk.
+func (r *Reader) ChunkLen() int { return r.chunkLen }
+
+// Remaining returns the number of records not yet yielded.
+func (r *Reader) Remaining() int { return int(r.remaining) }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) (trace.Block, bool) {
+	r.err = err
+	return trace.Block{}, false
+}
+
+// Next yields the next chunk. The returned block's buffers are reused
+// by the following Next call. After the final chunk it verifies the
+// dense-ID and EOF invariants and returns false.
+func (r *Reader) Next() (trace.Block, bool) {
+	if r.err != nil || r.done {
+		return trace.Block{}, false
+	}
+	if r.chunksLeft == 0 {
+		r.done = true
+		if r.seen != len(r.addrs) {
+			return r.fail(fmt.Errorf("corpus: %d intern entries never referenced", len(r.addrs)-r.seen))
+		}
+		if _, err := r.br.ReadByte(); err != io.EOF {
+			return r.fail(errTrailingData)
+		}
+		return trace.Block{}, false
+	}
+	n, err := r.u32()
+	if err != nil {
+		return r.fail(fmt.Errorf("corpus: chunk header: %w", err))
+	}
+	want := uint64(r.chunkLen)
+	if r.chunksLeft == 1 {
+		want = r.remaining
+	}
+	if uint64(n) != want {
+		return r.fail(fmt.Errorf("corpus: chunk of %d records, want %d", n, want))
+	}
+	// No claim-sized preallocation: r.ids grows by append as batches
+	// actually arrive, so a 50-byte file claiming a maxChunkLen chunk
+	// cannot demand a 64MB column (TestDecodeHugeChunkClaimBounded).
+	r.ids = r.ids[:0]
+	for len(r.ids) < int(n) {
+		c := int(n) - len(r.ids)
+		if c > batchRecords {
+			c = batchRecords
+		}
+		buf := r.batch[:4*c]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return r.fail(fmt.Errorf("corpus: chunk ids: %w", err))
+		}
+		for i := 0; i < c; i++ {
+			id := int32(binary.LittleEndian.Uint32(buf[4*i:]))
+			// Dense first-appearance order: an ID is either already
+			// interned or the very next one.
+			if id < 0 || int(id) > r.seen || int(id) >= len(r.addrs) {
+				return r.fail(fmt.Errorf("corpus: ID %d out of dense order (seen %d of %d)", id, r.seen, len(r.addrs)))
+			}
+			if int(id) == r.seen {
+				r.seen++
+			}
+			r.ids = append(r.ids, id)
+		}
+	}
+	words := (int(n) + 63) / 64
+	if r.taken, err = r.readBits(r.taken, words, int(n)); err != nil {
+		return r.fail(fmt.Errorf("corpus: taken bitset: %w", err))
+	}
+	if r.back, err = r.readBits(r.back, words, int(n)); err != nil {
+		return r.fail(fmt.Errorf("corpus: backward bitset: %w", err))
+	}
+	r.remaining -= uint64(n)
+	r.chunksLeft--
+	return trace.Block{IDs: r.ids, Taken: r.taken, Back: r.back}, true
+}
+
+// readBits reads a chunk bitset of the given word count into dst
+// (reused), rejecting nonzero bits beyond record n-1.
+func (r *Reader) readBits(dst []uint64, words, n int) ([]uint64, error) {
+	dst = dst[:0]
+	for len(dst) < words {
+		c := words - len(dst)
+		if c > batchRecords {
+			c = batchRecords
+		}
+		buf := r.batch[:8*c]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return dst, err
+		}
+		for i := 0; i < c; i++ {
+			dst = append(dst, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	if tail := uint(n) & 63; tail != 0 {
+		if dst[words-1]&^(uint64(1)<<tail-1) != 0 {
+			return dst, errors.New("padding bits set")
+		}
+	}
+	return dst, nil
+}
+
+// Encode writes pt in BPK1 form with the given records-per-chunk
+// (DefaultChunkLen if chunkLen <= 0).
+func Encode(w io.Writer, pt *trace.Packed, chunkLen int) error {
+	if chunkLen <= 0 {
+		chunkLen = DefaultChunkLen
+	}
+	if chunkLen > maxChunkLen {
+		return fmt.Errorf("corpus: chunk length %d exceeds limit %d", chunkLen, maxChunkLen)
+	}
+	if len(pt.Name()) > maxNameLen {
+		return fmt.Errorf("corpus: name length %d exceeds limit %d", len(pt.Name()), maxNameLen)
+	}
+	bw := bufio.NewWriter(w)
+	var sc [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(sc[:4], v)
+		bw.Write(sc[:4])
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(sc[:8], v)
+		bw.Write(sc[:8])
+	}
+	bw.Write(magic[:])
+	u32(formatVersion)
+	u32(uint32(len(pt.Name())))
+	bw.WriteString(pt.Name())
+	u64(uint64(pt.Len()))
+	u64(uint64(pt.NumBranches()))
+	u32(uint32(chunkLen))
+	u32(uint32((pt.Len() + chunkLen - 1) / chunkLen))
+	for _, a := range pt.Addrs() {
+		u32(uint32(a))
+	}
+	src := pt.Blocks(chunkLen)
+	for {
+		blk, ok := src.Next()
+		if !ok {
+			break
+		}
+		u32(uint32(blk.Len()))
+		for _, id := range blk.IDs {
+			u32(uint32(id))
+		}
+		for _, w := range blk.Taken {
+			u64(w)
+		}
+		for _, w := range blk.Back {
+			u64(w)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a complete BPK1 stream into a packed trace view,
+// returning the stored chunk length alongside. The assembled columns
+// pass through trace.AssemblePacked, which re-validates every packed
+// invariant.
+func Decode(rd io.Reader) (*trace.Packed, int, error) {
+	r, err := NewReader(rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		ids         []int32
+		taken, back []uint64
+		pos         int
+	)
+	for {
+		blk, ok := r.Next()
+		if !ok {
+			break
+		}
+		ids = append(ids, blk.IDs...)
+		words := (pos + blk.Len() + 63) / 64
+		for len(taken) < words {
+			taken = append(taken, 0)
+			back = append(back, 0)
+		}
+		for i := 0; i < blk.Len(); i++ {
+			p := pos + i
+			if blk.Taken1(i) != 0 {
+				taken[p>>6] |= 1 << (uint(p) & 63)
+			}
+			if blk.Back1(i) != 0 {
+				back[p>>6] |= 1 << (uint(p) & 63)
+			}
+		}
+		pos += blk.Len()
+	}
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	pt, err := trace.AssemblePacked(r.Name(), r.Addrs(), ids, taken, back)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pt, r.ChunkLen(), nil
+}

@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+
+	"branchcorr/internal/trace"
+)
+
+// FuzzCorpusDecode hammers the BPK1 decoder with arbitrary bytes: it
+// must never panic, never allocate proportionally to fabricated header
+// counts, and on every accepted input the decode∘encode composition
+// must be the byte identity (strict canonical format, exact EOF).
+func FuzzCorpusDecode(f *testing.F) {
+	tr := trace.New("seed", 0)
+	for i := 0; i < 150; i++ {
+		tr.Append(trace.Record{PC: trace.Addr(0x40 + 4*(i%9)), Taken: i%2 == 0, Backward: i%9 == 0})
+	}
+	for _, chunkLen := range []int{1, 64, 100} {
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr.Packed(), chunkLen); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	var ebuf bytes.Buffer
+	if err := Encode(&ebuf, trace.New("e", 0).Packed(), DefaultChunkLen); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ebuf.Bytes())
+	f.Add([]byte("BPK1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, chunkLen, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := Encode(&enc, pt, chunkLen); err != nil {
+			t.Fatalf("re-encode of accepted corpus entry failed: %v", err)
+		}
+		if !bytes.Equal(enc.Bytes(), data) {
+			t.Fatalf("canonical violation: accepted %d bytes, re-encode is %d bytes", len(data), enc.Len())
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"branchcorr/internal/bp"
 	"branchcorr/internal/core"
+	"branchcorr/internal/corpus"
 	"branchcorr/internal/obs"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/trace"
@@ -49,6 +50,14 @@ type Config struct {
 	// Fig9Percentiles are the x-axis points of Figure 9 (default 0..100
 	// step 5).
 	Fig9Percentiles []float64
+	// CorpusDir, when non-empty, names a content-addressed trace store
+	// directory (internal/corpus): workload traces are loaded from it
+	// when present and generated-then-stored otherwise, so repeat runs
+	// skip generation entirely. Keys cover the workload name, Length,
+	// and workloads.Revision; hits/misses surface as the corpus.*
+	// counters on Obs. Empty (the default) bypasses the store, leaving
+	// the default metrics snapshot untouched.
+	CorpusDir string
 	// ExtraSpecs adds the "extra" exhibit: a per-workload accuracy table
 	// for these bp.Parse predictor specs (the -p flag of
 	// cmd/experiments). Empty skips the exhibit entirely, so default
@@ -213,10 +222,30 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 	s.simTimeline = func(tr *trace.Trace, bucket int, predictors ...bp.Predictor) []*sim.Timeline {
 		return sim.Simulate(tr, predictors, sim.Options{BucketSize: bucket, Observer: cfg.Obs}).Timelines
 	}
+	var store *corpus.Store
+	if cfg.CorpusDir != "" {
+		var err error
+		if store, err = corpus.Open(cfg.CorpusDir, cfg.Obs); err != nil {
+			return nil, err
+		}
+	}
 	for _, name := range cfg.Workloads {
 		w, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
+		}
+		if store != nil {
+			key := corpus.Key(name, cfg.Length, workloads.Revision)
+			tr, err := store.GetTrace(key, func() *trace.Trace {
+				logf("generating %s (%d branches)", name, cfg.Length)
+				return w.Generate(cfg.Length)
+			})
+			if err != nil {
+				return nil, err
+			}
+			logf("corpus: %s ready (%d branches)", name, tr.Len())
+			s.traces = append(s.traces, tr)
+			continue
 		}
 		logf("generating %s (%d branches)", name, cfg.Length)
 		s.traces = append(s.traces, w.Generate(cfg.Length))

@@ -22,11 +22,19 @@ import (
 //	bit 0: taken
 //	bit 1: backward
 //	bit 2: samePC (PC identical to previous record; no delta follows)
-//	bits 3+: unused, zero
+//	bits 3+: reserved, must be zero
 //
 // The PC delta is a zigzag-encoded signed difference from the previous
 // record's PC. Branch traces are highly local, so deltas are small; the
 // format typically spends ~1.5 bytes per record.
+//
+// Decoding is canonical: every decodable stream re-encodes byte-identically.
+// The decoders therefore reject the four ways a stream could carry the
+// same records in different bytes — nonzero reserved header bits,
+// non-minimal uvarints (e.g. 0x80 0x00 for 0), an explicit zero PC delta
+// where the samePC flag is the canonical spelling, and a delta that only
+// reaches its PC by wrapping modulo 2^32. The invariant is pinned by
+// TestEncodingCanonical and FuzzTraceRead.
 
 var magic = [4]byte{'B', 'T', 'R', '1'}
 
@@ -38,10 +46,125 @@ const (
 	flagTaken    = 1 << 0
 	flagBackward = 1 << 1
 	flagSamePC   = 1 << 2
+	flagReserved = ^uint64(flagTaken | flagBackward | flagSamePC)
+)
+
+// maxNameLen bounds the trace-name field so a corrupt header cannot
+// demand a gigabyte allocation.
+const maxNameLen = 1 << 20
+
+// readPrealloc caps how much record capacity the in-memory decoder
+// preallocates from the header's (attacker-controlled) record count; the
+// slice grows normally as records actually arrive, so a 15-byte file
+// claiming 2^60 records errors out after a few bytes instead of OOMing
+// the process (TestReadHugeCountNoOOM).
+const readPrealloc = 1 << 16
+
+var (
+	errNonMinimalVarint = errors.New("non-minimal uvarint encoding")
+	errVarintOverflow   = errors.New("uvarint overflows 64 bits")
+	errReservedBits     = errors.New("reserved header bits set")
+	errZeroDelta        = errors.New("zero pc delta (canonical form is the samePC flag)")
+	errAliasedDelta     = errors.New("pc delta aliases a wraparound (canonical form is the exact difference)")
 )
 
 func zigzag(d int64) uint64   { return uint64((d << 1) ^ (d >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// readUvarint decodes a canonical (minimal-length) uvarint. It accepts
+// exactly the encodings binary.PutUvarint produces: a value encoded in
+// more bytes than necessary — detectable as a multi-byte encoding whose
+// final byte is zero — is an error, so decode∘encode is the identity on
+// bytes, not just on values.
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i > 0 && b == 0 {
+				return 0, errNonMinimalVarint
+			}
+			if i == 9 && b > 1 {
+				return 0, errVarintOverflow
+			}
+			return x | uint64(b)<<s, nil
+		}
+		if i == 9 {
+			return 0, errVarintOverflow
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// readHeader consumes the magic, name, and record count that start every
+// BTR1 stream.
+func readHeader(br *bufio.Reader) (name string, count uint64, err error) {
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return "", 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return "", 0, ErrBadMagic
+	}
+	nameLen, err := readUvarint(br)
+	if err != nil {
+		return "", 0, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > maxNameLen {
+		return "", 0, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return "", 0, fmt.Errorf("trace: reading name: %w", err)
+	}
+	count, err = readUvarint(br)
+	if err != nil {
+		return "", 0, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	return string(nameBuf), count, nil
+}
+
+// readRecord decodes one record given the previous record's PC, enforcing
+// the canonical-encoding rules.
+func readRecord(br *bufio.Reader, prev Addr) (Record, error) {
+	hdr, err := readUvarint(br)
+	if err != nil {
+		return Record{}, fmt.Errorf("header: %w", err)
+	}
+	if hdr&flagReserved != 0 {
+		return Record{}, fmt.Errorf("header %#x: %w", hdr, errReservedBits)
+	}
+	rec := Record{
+		Taken:    hdr&flagTaken != 0,
+		Backward: hdr&flagBackward != 0,
+	}
+	if hdr&flagSamePC != 0 {
+		rec.PC = prev
+		return rec, nil
+	}
+	d, err := readUvarint(br)
+	if err != nil {
+		return Record{}, fmt.Errorf("pc delta: %w", err)
+	}
+	if d == 0 {
+		return Record{}, errZeroDelta
+	}
+	delta := unzigzag(d)
+	rec.PC = Addr(int64(prev) + delta)
+	// The encoder always emits the exact int64 difference of the two
+	// 32-bit PCs; a delta that only reaches the PC by wrapping modulo
+	// 2^32 (e.g. -25 standing in for +2^32-25) is an alias of that
+	// canonical spelling and would break re-encode identity.
+	if delta != int64(rec.PC)-int64(prev) {
+		return Record{}, errAliasedDelta
+	}
+	return rec, nil
+}
 
 // Write encodes the trace to w in the binary format.
 func (t *Trace) Write(w io.Writer) error {
@@ -89,52 +212,25 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read decodes a trace from r.
+// Read decodes a trace from r, materializing every record in memory.
+// Arbitrarily long on-disk traces should stream through NewScanner or
+// ReadBlocks instead. The header's record count is treated as a claim,
+// not a budget: preallocation is capped (readPrealloc) and the record
+// slice grows only as records actually decode.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, ErrBadMagic
-	}
-	nameLen, err := binary.ReadUvarint(br)
+	name, count, err := readHeader(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, err
 	}
-	if nameLen > 1<<20 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
-	}
-	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading record count: %w", err)
-	}
-	t := New(string(nameBuf), int(count))
+	t := New(name, int(min(count, readPrealloc)))
 	prev := Addr(0)
 	for i := uint64(0); i < count; i++ {
-		hdr, err := binary.ReadUvarint(br)
+		rec, err := readRecord(br, prev)
 		if err != nil {
-			return nil, fmt.Errorf("trace: record %d header: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
-		rec := Record{
-			Taken:    hdr&flagTaken != 0,
-			Backward: hdr&flagBackward != 0,
-		}
-		if hdr&flagSamePC != 0 {
-			rec.PC = prev
-		} else {
-			d, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("trace: record %d pc delta: %w", i, err)
-			}
-			rec.PC = Addr(int64(prev) + unzigzag(d))
-			prev = rec.PC
-		}
+		prev = rec.PC
 		t.Append(rec)
 	}
 	return t, nil

@@ -1,6 +1,10 @@
 package trace
 
-import "branchcorr/internal/obs"
+import (
+	"fmt"
+
+	"branchcorr/internal/obs"
+)
 
 // Packed is a columnar (structure-of-arrays) view of a Trace, built once
 // and shared by analyses whose inner loops would otherwise pay per-record
@@ -61,6 +65,59 @@ func Pack(t *Trace) *Packed {
 		}
 	}
 	return p
+}
+
+// AssemblePacked reconstructs a Packed view from raw columns — the load
+// path of the on-disk corpus format, which persists exactly these
+// columns. It validates the shape Pack guarantees (every ID in range,
+// IDs dense in first-appearance order, bitsets exactly sized with zero
+// tail padding, intern table duplicate-free) and rebuilds the derived
+// idOf map and per-ID counts, so an assembled view is indistinguishable
+// from one Pack built over the same records.
+func AssemblePacked(name string, addrs []Addr, ids []int32, taken, back []uint64) (*Packed, error) {
+	words := (len(ids) + 63) / 64
+	if len(taken) != words || len(back) != words {
+		return nil, fmt.Errorf("trace: assemble: bitset sizes (%d, %d words) do not match %d records (%d words)",
+			len(taken), len(back), len(ids), words)
+	}
+	if tail := uint(len(ids)) & 63; tail != 0 && words > 0 {
+		mask := ^(uint64(1)<<tail - 1)
+		if taken[words-1]&mask != 0 || back[words-1]&mask != 0 {
+			return nil, fmt.Errorf("trace: assemble: nonzero bitset padding past record %d", len(ids))
+		}
+	}
+	p := &Packed{
+		name:   name,
+		ids:    ids,
+		addrs:  addrs,
+		idOf:   make(map[Addr]int32, len(addrs)),
+		counts: make([]int32, len(addrs)),
+		taken:  taken,
+		back:   back,
+	}
+	for id, a := range addrs {
+		if _, dup := p.idOf[a]; dup {
+			return nil, fmt.Errorf("trace: assemble: address 0x%x interned twice", uint32(a))
+		}
+		p.idOf[a] = int32(id)
+	}
+	seen := int32(0)
+	for i, id := range ids {
+		if id < 0 || int(id) >= len(addrs) {
+			return nil, fmt.Errorf("trace: assemble: record %d has ID %d outside intern table of %d", i, id, len(addrs))
+		}
+		if id > seen {
+			return nil, fmt.Errorf("trace: assemble: record %d introduces ID %d before ID %d (not first-appearance order)", i, id, seen)
+		}
+		if id == seen {
+			seen++
+		}
+		p.counts[id]++
+	}
+	if int(seen) != len(addrs) {
+		return nil, fmt.Errorf("trace: assemble: intern table has %d entries but only %d IDs appear", len(addrs), seen)
+	}
+	return p, nil
 }
 
 // Name returns the source trace's name.

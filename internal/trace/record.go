@@ -69,6 +69,18 @@ func FromRecords(name string, recs []Record) *Trace {
 	return &Trace{name: name, records: recs}
 }
 
+// FromPacked materializes a Trace from a columnar view and seeds the
+// trace's Packed memo with it, so consumers that load a pre-packed trace
+// (the corpus store's hit path) pay neither record re-interning nor
+// bitset reconstruction: the first Packed() call returns p itself.
+func FromPacked(p *Packed) *Trace {
+	recs := make([]Record, p.Len())
+	for i := range recs {
+		recs[i] = p.Record(i)
+	}
+	return &Trace{name: p.Name(), records: recs, packed: p}
+}
+
 // Name returns the trace's name.
 func (t *Trace) Name() string { return t.name }
 

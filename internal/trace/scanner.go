@@ -2,14 +2,15 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 )
 
 // Scanner decodes a BTR1 stream one record at a time, so arbitrarily
-// long on-disk traces can be simulated in constant memory. The zero
-// value is not usable; construct with NewScanner.
+// long on-disk traces can be simulated in constant memory. It enforces
+// the same canonical-encoding rules as Read (reserved header bits,
+// minimal uvarints, no explicit zero delta). The zero value is not
+// usable; construct with NewScanner.
 type Scanner struct {
 	br        *bufio.Reader
 	name      string
@@ -23,29 +24,11 @@ type Scanner struct {
 // the first record.
 func NewScanner(r io.Reader) (*Scanner, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, ErrBadMagic
-	}
-	nameLen, err := binary.ReadUvarint(br)
+	name, count, err := readHeader(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, err
 	}
-	if nameLen > 1<<20 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
-	}
-	nameBuf := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading record count: %w", err)
-	}
-	return &Scanner{br: br, name: string(nameBuf), remaining: count}, nil
+	return &Scanner{br: br, name: name, remaining: count}, nil
 }
 
 // Name returns the trace name from the stream header.
@@ -60,26 +43,13 @@ func (s *Scanner) Scan() bool {
 	if s.err != nil || s.remaining == 0 {
 		return false
 	}
-	hdr, err := binary.ReadUvarint(s.br)
+	rec, err := readRecord(s.br, s.prev)
 	if err != nil {
-		s.err = fmt.Errorf("trace: record header: %w", err)
+		s.err = fmt.Errorf("trace: record %w", err)
 		return false
 	}
-	s.rec = Record{
-		Taken:    hdr&flagTaken != 0,
-		Backward: hdr&flagBackward != 0,
-	}
-	if hdr&flagSamePC != 0 {
-		s.rec.PC = s.prev
-	} else {
-		d, err := binary.ReadUvarint(s.br)
-		if err != nil {
-			s.err = fmt.Errorf("trace: record pc delta: %w", err)
-			return false
-		}
-		s.rec.PC = Addr(int64(s.prev) + unzigzag(d))
-		s.prev = s.rec.PC
-	}
+	s.rec = rec
+	s.prev = rec.PC
 	s.remaining--
 	return true
 }

@@ -25,6 +25,13 @@ import (
 // the full experiment suite minutes-scale with stable predictor rankings.
 const DefaultLength = 2_000_000
 
+// Revision identifies the generator implementation for content-addressed
+// trace caching (corpus.Key): equal (workload, length, Revision) keys
+// promise byte-identical generated traces. Bump it whenever any
+// workload's generated output changes, so stale corpus entries stop
+// matching instead of silently serving old traces.
+const Revision = "2026-08-g1"
+
 // Workload generates the branch trace of one synthetic program.
 type Workload interface {
 	// Name is the SPECint95 benchmark this workload stands in for
