@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim fuzz
+.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim bench-sweep fuzz
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -54,8 +54,13 @@ fuzz:
 	$(GO) test -fuzz 'FuzzCorpusDecode' -fuzztime $(FUZZTIME) -run '^$$' ./internal/corpus/
 	$(GO) test -fuzz 'FuzzParse' -fuzztime $(FUZZTIME) -run '^$$' ./internal/bp/
 
+# bench smoke-runs every benchmark in the root harness — including the
+# 1M-branch kernel and sweep suites, which is why it pins -benchtime 1x
+# and a generous timeout instead of letting the default benchtime spin
+# each of them for seconds. Use bench-oracle/bench-sim/bench-sweep for
+# measurement-quality numbers.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchtime 1x -benchmem -run=^$$ -timeout 30m .
 
 # bench-oracle refreshes the recorded columnar-kernel baseline: the
 # oracle benchmarks (reference vs kernel at 100k and 1M branches) piped
@@ -73,3 +78,15 @@ bench-oracle:
 bench-sim:
 	$(GO) test -run '^$$' -bench 'SimPredictor' \
 		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# bench-sweep refreshes the recorded fused-sweep baseline: whole-grid
+# benchmarks (independent per-config kernel runs vs one fused pass, at
+# 100k and 1M branches) piped through cmd/benchjson into
+# BENCH_sweep.json. Each benchmark's branches/s metric is aggregate
+# throughput (configs × branches / wall); the 15-config gshare-hist grid
+# at 1M is the headline pair. Aggregate throughput is bound by the
+# recording core's per-access counter-update floor, so compare runs only
+# against baselines recorded on the same machine.
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'SimSweep' \
+		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_sweep.json

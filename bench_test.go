@@ -732,6 +732,78 @@ func BenchmarkSimPredictor(b *testing.B) {
 	}
 }
 
+// benchSweepGrids are the fused-sweep benchmark grids: ≥12 configs per
+// family, spanning the geometry ranges the paper's figures sweep.
+func benchSweepGrids() []struct {
+	name string
+	mk   func() bp.SweepGrid
+} {
+	gshareBits := make([]uint, 0, 15)
+	for bits := uint(8); bits <= 22; bits++ {
+		gshareBits = append(gshareBits, bits)
+	}
+	bimodalBits := make([]uint, 0, 12)
+	for bits := uint(6); bits <= 17; bits++ {
+		bimodalBits = append(bimodalBits, bits)
+	}
+	var gasGeoms []bp.GAsGeom
+	for _, h := range []uint{6, 8, 10, 12} {
+		for _, a := range []uint{0, 4, 8} {
+			gasGeoms = append(gasGeoms, bp.GAsGeom{HistBits: h, AddrBits: a})
+		}
+	}
+	var pasGeoms []bp.PAsGeom
+	for _, h := range []uint{6, 8, 10, 12} {
+		for _, p := range []uint{0, 4, 8} {
+			pasGeoms = append(pasGeoms, bp.PAsGeom{HistBits: h, PHTBits: p})
+		}
+	}
+	return []struct {
+		name string
+		mk   func() bp.SweepGrid
+	}{
+		{"gshare-hist", func() bp.SweepGrid { return bp.NewGshareSweep(gshareBits) }},
+		{"bimodal-size", func() bp.SweepGrid { return bp.NewBimodalSweep(bimodalBits) }},
+		{"gas-geom", func() bp.SweepGrid { return bp.NewGAsSweep(gasGeoms) }},
+		{"pas-geom", func() bp.SweepGrid { return bp.NewPAsSweep(10, pasGeoms) }},
+	}
+}
+
+// BenchmarkSimSweep measures whole-grid sweep throughput: per-config
+// independent kernel runs against one fused sweep pass over the same
+// grid, each iteration sweeping the full trace on fresh state. The
+// metric is aggregate predicted branches/s (configs × branches / wall).
+// The impl=independent / impl=fused pair at each length is the speedup
+// BENCH_sweep.json records; the 15-config gshare-hist grid at
+// len=1000000 is the headline aggregate number. The aggregate scales as
+// ncfg / (shared + ncfg·access): the fused pass pays the column walk
+// once, so it converges to the per-access counter-update floor of the
+// recording machine's core, where independent runs pay the walk per
+// config.
+func BenchmarkSimSweep(b *testing.B) {
+	for _, grid := range benchSweepGrids() {
+		ncfg := len(grid.mk().ConfigNames())
+		for _, n := range benchOracleLengths {
+			tr := benchTraceN(b, "gcc", n)
+			tr.Packed() // memoized columnar view built outside the timer
+			b.Run(fmt.Sprintf("grid=%s/len=%d/impl=independent", grid.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, p := range grid.mk().Configs() {
+						sim.Run(tr, p)
+					}
+				}
+				b.ReportMetric(float64(ncfg)*float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+			})
+			b.Run(fmt.Sprintf("grid=%s/len=%d/impl=fused", grid.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sim.SimulateSweep(tr, grid.mk(), sim.Options{})
+				}
+				b.ReportMetric(float64(ncfg)*float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+			})
+		}
+	}
+}
+
 // BenchmarkTraceEncoding measures the binary trace codec.
 func BenchmarkTraceEncoding(b *testing.B) {
 	tr := benchTrace(b, "compress")

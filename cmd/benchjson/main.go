@@ -27,7 +27,9 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Speedup pairs one benchmark's impl=ref and impl=kernel variants.
+// Speedup pairs one benchmark's baseline and optimized variants:
+// impl=ref vs impl=kernel, or impl=independent vs impl=fused (the sweep
+// benchmarks); the baseline fills the ref slot either way.
 type Speedup struct {
 	Name          string  `json:"name"`
 	RefNsPerOp    float64 `json:"ref_ns_per_op"`
@@ -76,8 +78,9 @@ func parse(r io.Reader) ([]Benchmark, error) {
 	return out, sc.Err()
 }
 
-// speedups pairs names that differ only in an /impl=ref vs /impl=kernel
-// segment, sorted by name for stable output.
+// speedups pairs names that differ only in a baseline-vs-optimized
+// /impl= segment (ref/kernel, or independent/fused for the sweep
+// benchmarks), sorted by name for stable output.
 func speedups(benches []Benchmark) []Speedup {
 	byImpl := map[string]map[string]float64{} // base name -> impl -> ns/op
 	for _, b := range benches {
@@ -87,6 +90,10 @@ func speedups(benches []Benchmark) []Speedup {
 			base, impl = strings.Replace(b.Name, "/impl=ref", "", 1), "ref"
 		case strings.Contains(b.Name, "/impl=kernel"):
 			base, impl = strings.Replace(b.Name, "/impl=kernel", "", 1), "kernel"
+		case strings.Contains(b.Name, "/impl=independent"):
+			base, impl = strings.Replace(b.Name, "/impl=independent", "", 1), "ref"
+		case strings.Contains(b.Name, "/impl=fused"):
+			base, impl = strings.Replace(b.Name, "/impl=fused", "", 1), "kernel"
 		default:
 			continue
 		}

@@ -59,6 +59,33 @@ func TestSpeedups(t *testing.T) {
 	}
 }
 
+const sweepSample = `BenchmarkSimSweep/grid=gshare-hist/len=1000000/impl=independent-8 	       3	 412345678 ns/op	  36000000 branches/s
+BenchmarkSimSweep/grid=gshare-hist/len=1000000/impl=fused-8       	      50	  12345678 ns/op	1215000000 branches/s
+BenchmarkSimSweep/grid=pas-geom/len=100000/impl=fused-8           	      50	   2345678 ns/op	 512000000 branches/s
+`
+
+func TestSpeedupsSweepPairs(t *testing.T) {
+	benches, err := parse(strings.NewReader(sweepSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := speedups(benches)
+	if len(sp) != 1 {
+		t.Fatalf("got %d speedup pairs, want 1 (unpaired fused benchmarks must be skipped)", len(sp))
+	}
+	s := sp[0]
+	if s.Name != "SimSweep/grid=gshare-hist/len=1000000" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if s.RefNsPerOp != 412345678 || s.KernelNsPerOp != 12345678 {
+		t.Errorf("pair = %v / %v (independent must fill the ref slot, fused the kernel slot)",
+			s.RefNsPerOp, s.KernelNsPerOp)
+	}
+	if s.Speedup < 33.3 || s.Speedup > 33.5 {
+		t.Errorf("speedup = %v", s.Speedup)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	benches, err := parse(strings.NewReader("no benchmarks here\n"))
 	if err != nil {

@@ -180,14 +180,15 @@ func (p *PAs) SimulateBlock(blk KernelBlock, correct []int32) int {
 		t := taken[j>>6] >> (uint(j) & 63) & 1
 		j++
 		bi := bhtIdx[id] & bmask
+		bh := bht[bi]
 		tbl := tables[id]
-		hist := (bht[bi] & hmask) & uint32(len(tbl)-1)
+		hist := (bh & hmask) & uint32(len(tbl)-1)
 		c := tbl[hist]
 		ok := int32(uint64(c>>1) ^ t ^ 1)
 		correct[id] += ok
 		total += int(ok)
 		tbl[hist] = counterNext[t][c&3]
-		bht[bi] = (bht[bi]<<1)&hmask | uint32(t)
+		bht[bi] = (bh<<1)&hmask | uint32(t)
 	}
 	return total
 }

@@ -1,0 +1,744 @@
+package bp
+
+import (
+	"fmt"
+
+	"branchcorr/internal/trace"
+)
+
+// This file is the fused-sweep half of the columnar execution contract.
+// The paper's figures are parameter sweeps — history length, window
+// size, table geometry — and adjacent configurations of one predictor
+// family differ only in index-hash width and table size, so a whole grid
+// can share one walk over the packed columns: the per-record work that
+// dominates a single-config kernel (ID load, outcome bit extract,
+// history shift, per-branch state fetch) is paid once per record instead
+// of once per record per config. A SweepKernel updates every config of
+// its grid from one KernelBlock; sim.SimulateSweep dispatches to it and
+// falls back to per-config simulation for grids without a fused kernel.
+//
+// What is shared vs per-config, per family:
+//
+//   - GshareSweep: one unmasked global history register serves every
+//     history length, because gshare's index (pcx ^ h) & mask_c equals
+//     (pcx ^ (h & mask_c)) & mask_c — each config's masked register is
+//     the shared register's low bits. Per config: only the PHT.
+//   - BimodalSweep: the dense-ID walk and the per-ID address bits are
+//     shared; per config only the table size differs.
+//   - GAsSweep: the unmasked global history is shared as in gshare; each
+//     config's PHT-bank base recomputes from the shared per-ID address
+//     column as (pcx & addrMask_c) << histBits_c — two ALU ops, no
+//     per-config cached column.
+//   - PAsSweep: every config shares one BHT of unmasked per-address
+//     history registers (the grid is built at a fixed BHT size, so the
+//     address → register aliasing is identical across configs, and each
+//     config's masked local history is the shared register's low bits);
+//     bank bases recompute from pcx as in GAs.
+//
+// Execution is tiled to keep the sharing from fighting the cache: each
+// SweepBlock call walks its range in fixed-size tiles, a shared pass
+// staging one packed key|outcome word per record into grid-owned
+// scratch (this is where the shared history state advances), and then
+// config replays running the L1-resident tile against their own
+// power-of-2 tables, two configs per loop so their table-access
+// dependency chains overlap. Replaying from one packed word keeps the
+// per-config work at one sequential load amortized across the pair
+// plus one table read-modify-write: slot mask, counter load, one
+// sweepStep lookup yielding both the trained counter and the
+// correctness bit, counter store, register-resident count. Per-config
+// replay of a tile is sequential in record order and configs share no
+// counter state, so results are bit-identical to per-record
+// interleaving.
+//
+// The only cached derived column (per-ID address bits) is extended when
+// the intern table grows, and the tile scratch is allocated once at
+// construction, so steady-state blocks allocate nothing
+// (sweep_alloc_test.go pins this at zero). A grid instance is therefore
+// bound to the single trace or block stream it is simulating — exactly
+// like its trained counter state.
+
+// SweepGrid is a set of same-family predictor configurations simulated
+// together over one trace. ConfigNames and Configs use the same grid
+// order; Configs returns one independent scalar predictor per config —
+// the executable specification a fused kernel is pinned against by the
+// differential tests, and the engine sim.SimulateSweep drives when the
+// grid has no fused kernel. Fused grids construct the predictors fresh
+// (initial state, not a view of the fused state), so a run uses either
+// the fused kernel or the returned configs, never both.
+type SweepGrid interface {
+	// GridName names the grid (family and span) for results and metrics.
+	GridName() string
+	// ConfigNames returns one label per config, in grid order.
+	ConfigNames() []string
+	// Configs returns the per-config independent predictors, in grid
+	// order.
+	Configs() []Predictor
+}
+
+// SweepKernel is a SweepGrid with a fused columnar kernel: one call
+// replays a block through every config of the grid at once. SweepBlock
+// must be observationally identical, per config, to replaying the block
+// through that config's independent predictor: it adds config c's
+// correct-prediction count for the range to correct[c] (len(correct)
+// must be at least the config count; the kernel only ever adds), and
+// chunked calls over adjacent ranges are equivalent to one full-range
+// call.
+type SweepKernel interface {
+	SweepGrid
+	SweepBlock(blk KernelBlock, correct []int32)
+}
+
+// sweepTile is the tile length in records: big enough to amortize the
+// per-tile config-loop setup, small enough that the packed key|outcome
+// scratch (4 bytes per record) stays L1-resident under the config
+// replays' table traffic.
+const sweepTile = 2048
+
+// sweepStep folds one counter transition and its correctness bit into a
+// single lookup: sweepStep[cnt<<1|t] = counterNext[t][cnt]<<1 | ok,
+// where ok is 1 when the counter's MSB agreed with the outcome t. The
+// table is sized 256 so an untruncated uint8 index (counter<<1|t) needs
+// no bounds check; only indices 0..7 are ever hit because stored
+// counters stay in 0..3.
+var sweepStep = func() [256]uint8 {
+	var lut [256]uint8
+	for cnt := uint8(0); cnt < 4; cnt++ {
+		for t := uint8(0); t < 2; t++ {
+			ok := cnt>>1 ^ t ^ 1
+			lut[cnt<<1|t] = uint8(counterNext[t][cnt])<<1 | ok
+		}
+	}
+	return lut
+}()
+
+// sweepScratch is the tile-sized staging a fused grid replays configs
+// from: the shared pass packs one key|outcome word per record,
+// key<<1|t, with the key pre-masked to the grid's widest config (every
+// config's mask is a subset, so narrower configs read the same bits
+// they would from the unmasked value). Allocated once at construction.
+type sweepScratch struct {
+	kt []uint32
+}
+
+func newSweepScratch() sweepScratch {
+	return sweepScratch{kt: make([]uint32, sweepTile)}
+}
+
+// extendPcx grows a cached per-ID word-aligned-address column to cover
+// addrs, computing entries only for newly interned IDs. The allocation
+// sits outside every loop and is amortized doubling, so steady-state
+// blocks of a stream reuse the column and allocate nothing.
+func extendPcx(pcx []uint32, addrs []trace.Addr) []uint32 {
+	if len(addrs) <= len(pcx) {
+		return pcx
+	}
+	out := make([]uint32, len(addrs), max(len(addrs), 2*cap(pcx)))
+	copy(out, pcx)
+	for id := len(pcx); id < len(addrs); id++ {
+		out[id] = uint32(addrs[id]) >> 2
+	}
+	return out
+}
+
+// GshareSweep is the fused gshare grid: one config per history length,
+// all sharing one unmasked global history register.
+type GshareSweep struct {
+	bits    []uint
+	phts    [][]Counter2 // one power-of-2 PHT per config
+	kmax    uint32       // widest config's index mask
+	history uint32       // shared unmasked global history
+	pcx     []uint32     // cached per-ID address bits
+	scratch sweepScratch
+}
+
+// NewGshareSweep returns a fused grid of gshare configs, one per entry
+// of historyBits (each within NewGshare's [1,26] range), in argument
+// order.
+func NewGshareSweep(historyBits []uint) *GshareSweep {
+	if len(historyBits) == 0 {
+		panic("bp: gshare sweep needs at least one config")
+	}
+	phts := make([][]Counter2, len(historyBits))
+	kmax := uint32(0)
+	for c, b := range historyBits {
+		if b == 0 || b > 26 {
+			panic(fmt.Sprintf("bp: gshare history bits %d out of range [1,26]", b))
+		}
+		phts[c] = make([]Counter2, 1<<b)
+		kmax |= 1<<b - 1
+	}
+	return &GshareSweep{
+		bits:    append([]uint(nil), historyBits...),
+		phts:    phts,
+		kmax:    kmax,
+		scratch: newSweepScratch(),
+	}
+}
+
+// GridName implements SweepGrid.
+func (g *GshareSweep) GridName() string {
+	return fmt.Sprintf("gshare-hist(%d configs, %d..%d bits)", len(g.bits), g.bits[0], g.bits[len(g.bits)-1])
+}
+
+// ConfigNames implements SweepGrid; names match NewGshare's.
+func (g *GshareSweep) ConfigNames() []string {
+	out := make([]string, len(g.bits))
+	for c, b := range g.bits {
+		out[c] = fmt.Sprintf("gshare(%d)", b)
+	}
+	return out
+}
+
+// Configs implements SweepGrid.
+func (g *GshareSweep) Configs() []Predictor {
+	out := make([]Predictor, len(g.bits))
+	for c, b := range g.bits {
+		out[c] = NewGshare(b)
+	}
+	return out
+}
+
+// SweepBlock implements SweepKernel. The shared pass pays the
+// per-record work once — ID load, outcome extract, key pcx^h, history
+// shift — and each config pair's replay of the staged tile is the
+// single-config kernel loop minus exactly that work.
+//
+//bplint:hot
+func (g *GshareSweep) SweepBlock(blk KernelBlock, correct []int32) {
+	g.pcx = extendPcx(g.pcx, blk.Addrs)
+	pcx := g.pcx
+	phts := g.phts
+	correct = correct[:len(phts)]
+	kmax := g.kmax
+	taken := blk.Taken
+	ids := blk.IDs
+	kt := g.scratch.kt
+	h := g.history
+	for lo := blk.Lo; lo < blk.Hi; lo += sweepTile {
+		hi := min(lo+sweepTile, blk.Hi)
+		kk := kt[:hi-lo]
+		j := lo
+		for i := range kk {
+			t := taken[j>>6] >> (uint(j) & 63) & 1
+			kk[i] = ((pcx[ids[j]]^h)&kmax)<<1 | uint32(t)
+			h = h<<1 | uint32(t)
+			j++
+		}
+		c := 0
+		for ; c+2 <= len(phts); c += 2 {
+			t0, t1 := phts[c], phts[c+1]
+			m0 := uint32(len(t0) - 1)
+			m1 := uint32(len(t1) - 1)
+			var n0, n1 int32
+			for _, v := range kk {
+				t := Counter2(v & 1)
+				k := v >> 1
+				s0 := k & m0
+				x0 := sweepStep[t0[s0]<<1|t]
+				n0 += int32(x0 & 1)
+				t0[s0] = Counter2(x0 >> 1)
+				s1 := k & m1
+				x1 := sweepStep[t1[s1]<<1|t]
+				n1 += int32(x1 & 1)
+				t1[s1] = Counter2(x1 >> 1)
+			}
+			correct[c] += n0
+			correct[c+1] += n1
+		}
+		for ; c < len(phts); c++ {
+			tbl := phts[c]
+			m := uint32(len(tbl) - 1)
+			n := int32(0)
+			for _, v := range kk {
+				t := Counter2(v & 1)
+				s := (v >> 1) & m
+				x := sweepStep[tbl[s]<<1|t]
+				n += int32(x & 1)
+				tbl[s] = Counter2(x >> 1)
+			}
+			correct[c] += n
+		}
+	}
+	g.history = h
+}
+
+// BimodalSweep is the fused bimodal grid: one config per table size,
+// sharing the dense-ID walk and per-ID address bits.
+type BimodalSweep struct {
+	bits    []uint
+	tbls    [][]Counter2
+	kmax    uint32
+	pcx     []uint32
+	scratch sweepScratch
+}
+
+// NewBimodalSweep returns a fused grid of bimodal configs, one per
+// entry of tableBits (each within NewBimodal's [1,30] range), in
+// argument order.
+func NewBimodalSweep(tableBits []uint) *BimodalSweep {
+	if len(tableBits) == 0 {
+		panic("bp: bimodal sweep needs at least one config")
+	}
+	tbls := make([][]Counter2, len(tableBits))
+	kmax := uint32(0)
+	for c, b := range tableBits {
+		if b == 0 || b > 30 {
+			panic(fmt.Sprintf("bp: bimodal table bits %d out of range [1,30]", b))
+		}
+		tbls[c] = make([]Counter2, 1<<b)
+		kmax |= 1<<b - 1
+	}
+	return &BimodalSweep{
+		bits:    append([]uint(nil), tableBits...),
+		tbls:    tbls,
+		kmax:    kmax,
+		scratch: newSweepScratch(),
+	}
+}
+
+// GridName implements SweepGrid.
+func (g *BimodalSweep) GridName() string {
+	return fmt.Sprintf("bimodal-size(%d configs, %d..%d bits)", len(g.bits), g.bits[0], g.bits[len(g.bits)-1])
+}
+
+// ConfigNames implements SweepGrid; names match NewBimodal's.
+func (g *BimodalSweep) ConfigNames() []string {
+	out := make([]string, len(g.bits))
+	for c, b := range g.bits {
+		out[c] = fmt.Sprintf("bimodal(%d)", b)
+	}
+	return out
+}
+
+// Configs implements SweepGrid.
+func (g *BimodalSweep) Configs() []Predictor {
+	out := make([]Predictor, len(g.bits))
+	for c, b := range g.bits {
+		out[c] = NewBimodal(b)
+	}
+	return out
+}
+
+// SweepBlock implements SweepKernel.
+//
+//bplint:hot
+func (g *BimodalSweep) SweepBlock(blk KernelBlock, correct []int32) {
+	g.pcx = extendPcx(g.pcx, blk.Addrs)
+	pcx := g.pcx
+	tbls := g.tbls
+	correct = correct[:len(tbls)]
+	kmax := g.kmax
+	taken := blk.Taken
+	ids := blk.IDs
+	kt := g.scratch.kt
+	for lo := blk.Lo; lo < blk.Hi; lo += sweepTile {
+		hi := min(lo+sweepTile, blk.Hi)
+		kk := kt[:hi-lo]
+		j := lo
+		for i := range kk {
+			t := taken[j>>6] >> (uint(j) & 63) & 1
+			kk[i] = (pcx[ids[j]]&kmax)<<1 | uint32(t)
+			j++
+		}
+		c := 0
+		for ; c+2 <= len(tbls); c += 2 {
+			t0, t1 := tbls[c], tbls[c+1]
+			m0 := uint32(len(t0) - 1)
+			m1 := uint32(len(t1) - 1)
+			var n0, n1 int32
+			for _, v := range kk {
+				t := Counter2(v & 1)
+				k := v >> 1
+				s0 := k & m0
+				x0 := sweepStep[t0[s0]<<1|t]
+				n0 += int32(x0 & 1)
+				t0[s0] = Counter2(x0 >> 1)
+				s1 := k & m1
+				x1 := sweepStep[t1[s1]<<1|t]
+				n1 += int32(x1 & 1)
+				t1[s1] = Counter2(x1 >> 1)
+			}
+			correct[c] += n0
+			correct[c+1] += n1
+		}
+		for ; c < len(tbls); c++ {
+			tbl := tbls[c]
+			m := uint32(len(tbl) - 1)
+			n := int32(0)
+			for _, v := range kk {
+				t := Counter2(v & 1)
+				s := (v >> 1) & m
+				x := sweepStep[tbl[s]<<1|t]
+				n += int32(x & 1)
+				tbl[s] = Counter2(x >> 1)
+			}
+			correct[c] += n
+		}
+	}
+}
+
+// GAsGeom is one GAs sweep configuration: the global history length and
+// the PHT-select address width (NewGAs's two parameters).
+type GAsGeom struct {
+	HistBits uint
+	AddrBits uint
+}
+
+// GAsSweep is the fused GAs grid: one config per table geometry, all
+// sharing one unmasked global history register; each config's selected
+// PHT bank folds out of the shared per-ID address column in its replay
+// loop.
+type GAsSweep struct {
+	geoms   []GAsGeom
+	hmasks  []uint32     // per-config history mask
+	amasks  []uint32     // per-config PHT-select mask
+	hbits   []uint       // per-config bank shift (history bits)
+	phts    [][]Counter2 // one power-of-2 flat PHT bank per config
+	kmax    uint32       // widest config's history mask
+	history uint32
+	pcx     []uint32
+	scratch sweepScratch
+}
+
+// NewGAsSweep returns a fused grid of GAs configs, one per geometry
+// (each within NewGAs's hist [1,24] / addr [0,12] ranges), in argument
+// order.
+func NewGAsSweep(geoms []GAsGeom) *GAsSweep {
+	if len(geoms) == 0 {
+		panic("bp: GAs sweep needs at least one config")
+	}
+	hmasks := make([]uint32, len(geoms))
+	amasks := make([]uint32, len(geoms))
+	hbits := make([]uint, len(geoms))
+	phts := make([][]Counter2, len(geoms))
+	kmax := uint32(0)
+	for c, geo := range geoms {
+		if geo.HistBits == 0 || geo.HistBits > 24 {
+			panic(fmt.Sprintf("bp: GAs history bits %d out of range [1,24]", geo.HistBits))
+		}
+		if geo.AddrBits > 12 {
+			panic(fmt.Sprintf("bp: GAs address bits %d out of range [0,12]", geo.AddrBits))
+		}
+		hmasks[c] = 1<<geo.HistBits - 1
+		amasks[c] = 1<<geo.AddrBits - 1
+		hbits[c] = geo.HistBits
+		phts[c] = make([]Counter2, 1<<(geo.HistBits+geo.AddrBits))
+		kmax |= hmasks[c]
+	}
+	return &GAsSweep{
+		geoms:   append([]GAsGeom(nil), geoms...),
+		hmasks:  hmasks,
+		amasks:  amasks,
+		hbits:   hbits,
+		phts:    phts,
+		kmax:    kmax,
+		scratch: newSweepScratch(),
+	}
+}
+
+// GridName implements SweepGrid.
+func (g *GAsSweep) GridName() string {
+	return fmt.Sprintf("gas-geom(%d configs)", len(g.geoms))
+}
+
+// ConfigNames implements SweepGrid; names match NewGAs's.
+func (g *GAsSweep) ConfigNames() []string {
+	out := make([]string, len(g.geoms))
+	for c, geo := range g.geoms {
+		out[c] = fmt.Sprintf("GAs(%d,%d)", geo.HistBits, geo.AddrBits)
+	}
+	return out
+}
+
+// Configs implements SweepGrid.
+func (g *GAsSweep) Configs() []Predictor {
+	out := make([]Predictor, len(g.geoms))
+	for c, geo := range g.geoms {
+		out[c] = NewGAs(geo.HistBits, geo.AddrBits)
+	}
+	return out
+}
+
+// SweepBlock implements SweepKernel. The staged key is the masked
+// global history; each config's replay folds its bank base out of the
+// shared address column ((pcx & addrMask) << histBits, disjoint from
+// the masked history bits, so | assembles the flat-bank slot — one
+// pcx load per record shared by the pair) and the final len-1 mask is
+// a semantic no-op that proves the slot in range.
+//
+//bplint:hot
+func (g *GAsSweep) SweepBlock(blk KernelBlock, correct []int32) {
+	g.pcx = extendPcx(g.pcx, blk.Addrs)
+	pcx := g.pcx
+	phts := g.phts
+	hmasks := g.hmasks
+	amasks := g.amasks
+	hbits := g.hbits
+	correct = correct[:len(phts)]
+	kmax := g.kmax
+	taken := blk.Taken
+	ids := blk.IDs
+	kt := g.scratch.kt
+	h := g.history
+	for lo := blk.Lo; lo < blk.Hi; lo += sweepTile {
+		hi := min(lo+sweepTile, blk.Hi)
+		tids := ids[lo:hi]
+		kk := kt[:len(tids)]
+		j := lo
+		for i := range kk {
+			t := taken[j>>6] >> (uint(j) & 63) & 1
+			kk[i] = (h&kmax)<<1 | uint32(t)
+			h = h<<1 | uint32(t)
+			j++
+		}
+		c := 0
+		for ; c+2 <= len(phts); c += 2 {
+			t0, t1 := phts[c], phts[c+1]
+			l0 := uint32(len(t0) - 1)
+			l1 := uint32(len(t1) - 1)
+			h0, a0, b0 := hmasks[c], amasks[c], hbits[c]
+			h1, a1, b1 := hmasks[c+1], amasks[c+1], hbits[c+1]
+			var n0, n1 int32
+			for i, v := range kk {
+				t := Counter2(v & 1)
+				hk := v >> 1
+				x := pcx[tids[i]]
+				s0 := ((x&a0)<<b0 | hk&h0) & l0
+				x0 := sweepStep[t0[s0]<<1|t]
+				n0 += int32(x0 & 1)
+				t0[s0] = Counter2(x0 >> 1)
+				s1 := ((x&a1)<<b1 | hk&h1) & l1
+				x1 := sweepStep[t1[s1]<<1|t]
+				n1 += int32(x1 & 1)
+				t1[s1] = Counter2(x1 >> 1)
+			}
+			correct[c] += n0
+			correct[c+1] += n1
+		}
+		for ; c < len(phts); c++ {
+			tbl := phts[c]
+			lm := uint32(len(tbl) - 1)
+			hm, am, sh := hmasks[c], amasks[c], hbits[c]
+			n := int32(0)
+			for i, v := range kk {
+				t := Counter2(v & 1)
+				s := ((pcx[tids[i]]&am)<<sh | (v>>1)&hm) & lm
+				x := sweepStep[tbl[s]<<1|t]
+				n += int32(x & 1)
+				tbl[s] = Counter2(x >> 1)
+			}
+			correct[c] += n
+		}
+	}
+	g.history = h
+}
+
+// PAsGeom is one PAs sweep configuration: the local history length and
+// the PHT-select address width. The BHT size is a property of the whole
+// grid (NewPAsSweep's bhtBits): sharing one table of history registers
+// requires every config to alias addresses onto registers identically.
+type PAsGeom struct {
+	HistBits uint
+	PHTBits  uint
+}
+
+// PAsSweep is the fused PAs grid: every config shares one BHT of
+// unmasked per-address history registers (each config's masked local
+// history is the shared register's low bits); bank bases fold out of
+// the shared address column as in GAs.
+type PAsSweep struct {
+	bhtBits uint
+	geoms   []PAsGeom
+	hmasks  []uint32
+	pmasks  []uint32
+	hbits   []uint
+	phts    [][]Counter2
+	kmax    uint32
+	bht     []uint32 // shared unmasked per-address local histories
+	pcx     []uint32
+	scratch sweepScratch
+}
+
+// NewPAsSweep returns a fused grid of PAs configs at a fixed BHT size
+// (bhtBits within NewPAs's [1,24] range), one config per geometry (hist
+// [1,24], pht [0,12]), in argument order.
+func NewPAsSweep(bhtBits uint, geoms []PAsGeom) *PAsSweep {
+	if bhtBits == 0 || bhtBits > 24 {
+		panic(fmt.Sprintf("bp: PAs BHT bits %d out of range [1,24]", bhtBits))
+	}
+	if len(geoms) == 0 {
+		panic("bp: PAs sweep needs at least one config")
+	}
+	hmasks := make([]uint32, len(geoms))
+	pmasks := make([]uint32, len(geoms))
+	hbits := make([]uint, len(geoms))
+	phts := make([][]Counter2, len(geoms))
+	kmax := uint32(0)
+	for c, geo := range geoms {
+		if geo.HistBits == 0 || geo.HistBits > 24 {
+			panic(fmt.Sprintf("bp: PAs history bits %d out of range [1,24]", geo.HistBits))
+		}
+		if geo.PHTBits > 12 {
+			panic(fmt.Sprintf("bp: PAs PHT-select bits %d out of range [0,12]", geo.PHTBits))
+		}
+		hmasks[c] = 1<<geo.HistBits - 1
+		pmasks[c] = 1<<geo.PHTBits - 1
+		hbits[c] = geo.HistBits
+		phts[c] = make([]Counter2, 1<<(geo.HistBits+geo.PHTBits))
+		kmax |= hmasks[c]
+	}
+	return &PAsSweep{
+		bhtBits: bhtBits,
+		geoms:   append([]PAsGeom(nil), geoms...),
+		hmasks:  hmasks,
+		pmasks:  pmasks,
+		hbits:   hbits,
+		phts:    phts,
+		kmax:    kmax,
+		bht:     make([]uint32, 1<<bhtBits),
+		pcx:     nil,
+		scratch: newSweepScratch(),
+	}
+}
+
+// GridName implements SweepGrid.
+func (g *PAsSweep) GridName() string {
+	return fmt.Sprintf("pas-geom(%d configs, bht %d)", len(g.geoms), g.bhtBits)
+}
+
+// ConfigNames implements SweepGrid; names match NewPAs's.
+func (g *PAsSweep) ConfigNames() []string {
+	out := make([]string, len(g.geoms))
+	for c, geo := range g.geoms {
+		out[c] = fmt.Sprintf("PAs(%d,%d,%d)", geo.HistBits, g.bhtBits, geo.PHTBits)
+	}
+	return out
+}
+
+// Configs implements SweepGrid.
+func (g *PAsSweep) Configs() []Predictor {
+	out := make([]Predictor, len(g.geoms))
+	for c, geo := range g.geoms {
+		out[c] = NewPAs(geo.HistBits, g.bhtBits, geo.PHTBits)
+	}
+	return out
+}
+
+// SweepBlock implements SweepKernel. The shared pass fetches each
+// record's history register once, stages its pre-update value as the
+// key (every config trains its counter with the history as it stood
+// before the branch, the scalar PAs order), and shifts the register;
+// config replays then never touch the BHT.
+//
+//bplint:hot
+func (g *PAsSweep) SweepBlock(blk KernelBlock, correct []int32) {
+	g.pcx = extendPcx(g.pcx, blk.Addrs)
+	pcx := g.pcx
+	phts := g.phts
+	hmasks := g.hmasks
+	pmasks := g.pmasks
+	hbits := g.hbits
+	correct = correct[:len(phts)]
+	kmax := g.kmax
+	bht := g.bht
+	bmask := uint32(len(bht) - 1)
+	taken := blk.Taken
+	ids := blk.IDs
+	kt := g.scratch.kt
+	for lo := blk.Lo; lo < blk.Hi; lo += sweepTile {
+		hi := min(lo+sweepTile, blk.Hi)
+		tids := ids[lo:hi]
+		kk := kt[:len(tids)]
+		j := lo
+		for i := range kk {
+			t := taken[j>>6] >> (uint(j) & 63) & 1
+			bi := pcx[tids[i]] & bmask
+			bh := bht[bi]
+			kk[i] = (bh&kmax)<<1 | uint32(t)
+			bht[bi] = bh<<1 | uint32(t)
+			j++
+		}
+		c := 0
+		for ; c+2 <= len(phts); c += 2 {
+			t0, t1 := phts[c], phts[c+1]
+			l0 := uint32(len(t0) - 1)
+			l1 := uint32(len(t1) - 1)
+			h0, p0, b0 := hmasks[c], pmasks[c], hbits[c]
+			h1, p1, b1 := hmasks[c+1], pmasks[c+1], hbits[c+1]
+			var n0, n1 int32
+			for i, v := range kk {
+				t := Counter2(v & 1)
+				bh := v >> 1
+				x := pcx[tids[i]]
+				s0 := ((x&p0)<<b0 | bh&h0) & l0
+				x0 := sweepStep[t0[s0]<<1|t]
+				n0 += int32(x0 & 1)
+				t0[s0] = Counter2(x0 >> 1)
+				s1 := ((x&p1)<<b1 | bh&h1) & l1
+				x1 := sweepStep[t1[s1]<<1|t]
+				n1 += int32(x1 & 1)
+				t1[s1] = Counter2(x1 >> 1)
+			}
+			correct[c] += n0
+			correct[c+1] += n1
+		}
+		for ; c < len(phts); c++ {
+			tbl := phts[c]
+			lm := uint32(len(tbl) - 1)
+			hm, pm, sh := hmasks[c], pmasks[c], hbits[c]
+			n := int32(0)
+			for i, v := range kk {
+				t := Counter2(v & 1)
+				s := ((pcx[tids[i]]&pm)<<sh | (v>>1)&hm) & lm
+				x := sweepStep[tbl[s]<<1|t]
+				n += int32(x & 1)
+				tbl[s] = Counter2(x >> 1)
+			}
+			correct[c] += n
+		}
+	}
+}
+
+// PredictorGrid adapts arbitrary predictor instances to the SweepGrid
+// contract. It has no fused kernel: sim.SimulateSweep drives the held
+// instances through its per-config fallback engine — still one logical
+// sweep call (and, streamed, one pass over the blocks) for a whole
+// figure, which is how exhibits over non-kernel predictors (Figure 5's
+// selective-history windows) join the fused-sweep pipeline.
+type PredictorGrid struct {
+	name  string
+	preds []Predictor
+}
+
+// NewPredictorGrid wraps the given predictor instances (at least one)
+// as a grid. The instances themselves carry the simulation state:
+// Configs returns them, not copies.
+func NewPredictorGrid(name string, preds []Predictor) *PredictorGrid {
+	if len(preds) == 0 {
+		panic("bp: predictor grid needs at least one config")
+	}
+	return &PredictorGrid{name: name, preds: append([]Predictor(nil), preds...)}
+}
+
+// GridName implements SweepGrid.
+func (g *PredictorGrid) GridName() string { return g.name }
+
+// ConfigNames implements SweepGrid: the predictors' own names.
+func (g *PredictorGrid) ConfigNames() []string {
+	out := make([]string, len(g.preds))
+	for c, p := range g.preds {
+		out[c] = p.Name()
+	}
+	return out
+}
+
+// Configs implements SweepGrid.
+func (g *PredictorGrid) Configs() []Predictor { return g.preds }
+
+var (
+	_ SweepKernel = (*GshareSweep)(nil)
+	_ SweepKernel = (*BimodalSweep)(nil)
+	_ SweepKernel = (*GAsSweep)(nil)
+	_ SweepKernel = (*PAsSweep)(nil)
+	_ SweepGrid   = (*PredictorGrid)(nil)
+)

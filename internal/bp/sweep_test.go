@@ -1,0 +1,186 @@
+// Conformance suite for the fused-sweep contract: every SweepKernel
+// must be a bit-identical replacement, per config, for replaying the
+// trace through that config's independent scalar predictor — across
+// randomized traces, grid shapes, and arbitrary block boundaries. This
+// is the bp-side half of the equivalence guarantee sim.SimulateSweep's
+// fused path rests on.
+package bp_test
+
+import (
+	"testing"
+
+	"branchcorr/internal/bp"
+	"branchcorr/internal/trace"
+)
+
+// sweepGrids enumerates one freshly built grid per fused family, shaped
+// to stress the sharing tricks: tiny tables that alias hard, mixed
+// geometries (including 0-bit bank selects), and config orders that are
+// not monotone in table size.
+func sweepGrids() map[string]func() bp.SweepKernel {
+	return map[string]func() bp.SweepKernel{
+		"gshare": func() bp.SweepKernel {
+			return bp.NewGshareSweep([]uint{1, 2, 5, 8, 11, 14, 16})
+		},
+		"bimodal": func() bp.SweepKernel {
+			return bp.NewBimodalSweep([]uint{12, 1, 3, 6, 8, 10})
+		},
+		"gas": func() bp.SweepKernel {
+			return bp.NewGAsSweep([]bp.GAsGeom{
+				{HistBits: 1, AddrBits: 0}, {HistBits: 4, AddrBits: 2},
+				{HistBits: 6, AddrBits: 4}, {HistBits: 8, AddrBits: 0},
+				{HistBits: 10, AddrBits: 6}, {HistBits: 12, AddrBits: 2},
+			})
+		},
+		// 4-bit BHT: the 60 random sites alias ~4 per register, so the
+		// shared-unmasked-history trick is exercised under heavy aliasing.
+		"pas": func() bp.SweepKernel {
+			return bp.NewPAsSweep(4, []bp.PAsGeom{
+				{HistBits: 1, PHTBits: 0}, {HistBits: 3, PHTBits: 2},
+				{HistBits: 6, PHTBits: 0}, {HistBits: 8, PHTBits: 4},
+				{HistBits: 12, PHTBits: 2},
+			})
+		},
+	}
+}
+
+// scalarSweepTotals replays the whole trace through each of the grid's
+// independent scalar configs and returns the per-config correct totals —
+// the executable specification the fused kernel must match.
+func scalarSweepTotals(g bp.SweepGrid, tr *trace.Trace) []int32 {
+	preds := g.Configs()
+	out := make([]int32, len(preds))
+	for c, p := range preds {
+		_, total := scalarCounts(p, tr, 0, tr.Len())
+		out[c] = int32(total)
+	}
+	return out
+}
+
+// sweepTotals replays the packed trace through SweepBlock in chunks of
+// the given size. The scratch is pre-seeded with per-config sentinels to
+// pin the adds-only contract (the kernel must never overwrite).
+func sweepTotals(g bp.SweepKernel, pt *trace.Packed, chunk int) []int32 {
+	ncfg := len(g.ConfigNames())
+	correct := make([]int32, ncfg)
+	for c := range correct {
+		correct[c] = int32(1000 * (c + 1))
+	}
+	n := pt.Len()
+	for at := 0; at < n; at += chunk {
+		end := min(at+chunk, n)
+		g.SweepBlock(blockOf(pt, at, end), correct)
+	}
+	for c := range correct {
+		correct[c] -= int32(1000 * (c + 1))
+	}
+	return correct
+}
+
+// TestSweepScalarConformance pins every fused sweep family bit-identical,
+// per config, to its independent scalar configs, at several block
+// layouts (including single-record blocks, word-straddling chunks, and
+// one full-range call).
+func TestSweepScalarConformance(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		tr := kernelRandomTrace(seed, 25_000)
+		pt := tr.Packed()
+		for family, mk := range sweepGrids() {
+			want := scalarSweepTotals(mk(), tr)
+			for _, chunk := range []int{1, 63, 64, 65, 1000, tr.Len()} {
+				got := sweepTotals(mk(), pt, chunk)
+				for c := range want {
+					if got[c] != want[c] {
+						name := mk().ConfigNames()[c]
+						t.Errorf("seed=%d %s chunk=%d: config %s: %d correct (fused) vs %d (scalar)",
+							seed, family, chunk, name, got[c], want[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepConfigNamesMatchScalar pins each grid's config labels to the
+// Name() of the scalar predictor it stands for, so sweep results are
+// attributable to exact single-config equivalents.
+func TestSweepConfigNamesMatchScalar(t *testing.T) {
+	for family, mk := range sweepGrids() {
+		g := mk()
+		names := g.ConfigNames()
+		preds := g.Configs()
+		if len(names) != len(preds) {
+			t.Fatalf("%s: %d names vs %d configs", family, len(names), len(preds))
+		}
+		for c, p := range preds {
+			if names[c] != p.Name() {
+				t.Errorf("%s config %d: grid name %q vs scalar name %q", family, c, names[c], p.Name())
+			}
+		}
+		if g.GridName() == "" {
+			t.Errorf("%s: empty grid name", family)
+		}
+	}
+}
+
+// TestPredictorGrid covers the fallback adapter: held instances are
+// returned as-is (they carry the simulation state) under their own
+// names, and an empty grid is rejected.
+func TestPredictorGrid(t *testing.T) {
+	a, b := bp.NewGshare(4), bp.NewBimodal(6)
+	g := bp.NewPredictorGrid("mixed", []bp.Predictor{a, b})
+	if g.GridName() != "mixed" {
+		t.Errorf("grid name %q", g.GridName())
+	}
+	if names := g.ConfigNames(); names[0] != a.Name() || names[1] != b.Name() {
+		t.Errorf("config names %v", names)
+	}
+	ps := g.Configs()
+	if ps[0] != bp.Predictor(a) || ps[1] != bp.Predictor(b) {
+		t.Error("Configs must return the held instances, not copies")
+	}
+	if _, ok := bp.SweepGrid(g).(bp.SweepKernel); ok {
+		t.Error("PredictorGrid must not claim a fused kernel")
+	}
+}
+
+// TestSweepValidation pins the constructor panics: out-of-range bits and
+// empty grids fail loudly at build time, matching the scalar
+// constructors' documented ranges.
+func TestSweepValidation(t *testing.T) {
+	cases := map[string]func(){
+		"gshare empty":     func() { bp.NewGshareSweep(nil) },
+		"gshare zero bits": func() { bp.NewGshareSweep([]uint{8, 0}) },
+		"gshare over":      func() { bp.NewGshareSweep([]uint{27}) },
+		"bimodal empty":    func() { bp.NewBimodalSweep(nil) },
+		"bimodal over":     func() { bp.NewBimodalSweep([]uint{31}) },
+		"gas empty":        func() { bp.NewGAsSweep(nil) },
+		"gas zero hist":    func() { bp.NewGAsSweep([]bp.GAsGeom{{HistBits: 0, AddrBits: 2}}) },
+		"gas addr over":    func() { bp.NewGAsSweep([]bp.GAsGeom{{HistBits: 4, AddrBits: 13}}) },
+		"pas zero bht":     func() { bp.NewPAsSweep(0, []bp.PAsGeom{{HistBits: 4}}) },
+		"pas empty":        func() { bp.NewPAsSweep(8, nil) },
+		"pas hist over":    func() { bp.NewPAsSweep(8, []bp.PAsGeom{{HistBits: 25}}) },
+		"pas pht over":     func() { bp.NewPAsSweep(8, []bp.PAsGeom{{HistBits: 4, PHTBits: 13}}) },
+		"predictors empty": func() { bp.NewPredictorGrid("none", nil) },
+	}
+	for name, build := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor did not panic")
+				}
+			}()
+			build()
+		})
+	}
+}
+
+// TestSweepGridNamesDistinguishShapes guards the metric/report keys:
+// different grid shapes must not collide on one GridName.
+func TestSweepGridNamesDistinguishShapes(t *testing.T) {
+	a := bp.NewGshareSweep([]uint{8, 10}).GridName()
+	b := bp.NewGshareSweep([]uint{8, 10, 12}).GridName()
+	if a == b {
+		t.Errorf("grid names collide: %q", a)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"branchcorr/internal/bp"
 	"branchcorr/internal/core"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/textplot"
@@ -92,28 +93,37 @@ func (s *Suite) Figure5() *Figure5Result {
 	return res
 }
 
-// figure5Cell sweeps every configured window for one benchmark. The
-// context is consulted between windows: each non-default window costs a
-// full oracle pass, so an aborted pool stops a cell mid-sweep instead of
-// finishing the suite's most expensive exhibit.
+// figure5Cell sweeps every configured window for one benchmark: one
+// oracle pass per window (the candidate set depends on the window — the
+// default window reuses the shared bundle's selections), then a single
+// sweep call simulating every window's selective predictor over one
+// trace walk. The context is consulted between oracle passes, so an
+// aborted pool stops a cell mid-collection instead of finishing the
+// suite's most expensive exhibit.
 func (s *Suite) figure5Cell(ctx context.Context, tr *trace.Trace) []float64 {
 	accs := make([]float64, len(s.cfg.Fig5Windows))
-	for wi, n := range s.cfg.Fig5Windows {
+	preds := make([]bp.Predictor, 0, len(s.cfg.Fig5Windows))
+	for _, n := range s.cfg.Fig5Windows {
 		if ctx.Err() != nil {
-			return accs
+			break
 		}
-		var r *sim.Result
+		var sels *core.Selections
 		if n == s.cfg.Oracle.WindowLen {
-			r = s.globalFor(tr).sel[3] // reuse the shared bundle
+			sels = s.globalFor(tr).sels // reuse the shared bundle
 		} else {
 			s.log("%s: oracle selection (window %d)", tr.Name(), n)
 			ocfg := s.cfg.Oracle
 			ocfg.WindowLen = n
-			sels := s.oracleBuild(tr, ocfg)
-			p := core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3])
-			r = s.simRun(tr, p)[0]
+			sels = s.oracleBuild(tr, ocfg)
 		}
-		accs[wi] = r.Accuracy()
+		preds = append(preds, core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3]))
+	}
+	if len(preds) == 0 {
+		return accs
+	}
+	out := s.simSweep(tr, bp.NewPredictorGrid("fig5-selective-windows", preds))
+	for c := range preds {
+		accs[c] = out.Accuracy(c)
 	}
 	return accs
 }

@@ -23,6 +23,7 @@ type Report struct {
 	Ceiling  *CeilingResult  `json:"ceiling,omitempty"`
 	Hybrids  *HybridsResult  `json:"hybrids,omitempty"`
 	Training *TrainingResult `json:"training,omitempty"`
+	Sweeps   *SweepsResult   `json:"sweeps,omitempty"`
 	Extra    *ExtraResult    `json:"extra,omitempty"`
 }
 

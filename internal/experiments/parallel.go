@@ -19,6 +19,7 @@ func ExhibitOrder() []string {
 		"ceiling",  // extension: achieved accuracy vs entropy ceilings
 		"hybrids",  // extension: hybrid organizations vs ideal per-branch choice
 		"training", // extension: cold-start vs steady-state accuracy
+		"sweeps",   // extension: fused gshare history sweep (one pass per workload)
 		"extra",    // user-spec'd predictors (Config.ExtraSpecs; skipped when empty)
 	}
 }
@@ -192,6 +193,17 @@ func (s *Suite) BuildReport(ctx context.Context, exhibits []string, opts runner.
 				tr := s.traces[i]
 				return func() { res.Rows[i] = s.trainingCell(tr) }
 			})
+		case "sweeps":
+			res := &SweepsResult{
+				Bits:       s.cfg.SweepGshareBits,
+				Benchmarks: s.Names(),
+				Acc:        make([][]float64, len(s.traces)),
+			}
+			report.Sweeps = res
+			perTrace(e, func(i int) func() {
+				tr := s.traces[i]
+				return func() { res.Acc[i] = s.sweepsCell(tr) }
+			})
 		case "extra":
 			if len(s.cfg.ExtraSpecs) == 0 {
 				continue // nothing requested: keep default reports unchanged
@@ -276,6 +288,10 @@ func (r *Report) RenderExhibit(name string) (string, bool) {
 	case "training":
 		if r.Training != nil {
 			return r.Training.Render(), true
+		}
+	case "sweeps":
+		if r.Sweeps != nil {
+			return r.Sweeps.Render(), true
 		}
 	case "extra":
 		if r.Extra != nil {

@@ -25,12 +25,19 @@ func referenceTimeline(tr *trace.Trace, bucket int, predictors ...bp.Predictor) 
 	return sim.RunTimeline(tr, bucket, stripped...)
 }
 
+// referenceSweep is sim.SimulateSweep pinned to the scalar reference
+// loop, bypassing both the fused grid walk and per-config kernels.
+func referenceSweep(tr *trace.Trace, grid bp.SweepGrid) *sim.SweepOutcome {
+	return sim.SimulateSweep(tr, grid, sim.Options{ForceReference: true})
+}
+
 // buildReportWithSim builds a full golden-config report with the given
 // simulation engine implementations and returns its JSON and rendered
 // text.
 func buildReportWithSim(t *testing.T, parallel int,
 	run func(*trace.Trace, ...bp.Predictor) []*sim.Result,
-	timeline func(*trace.Trace, int, ...bp.Predictor) []*sim.Timeline) (string, string) {
+	timeline func(*trace.Trace, int, ...bp.Predictor) []*sim.Timeline,
+	sweep func(*trace.Trace, bp.SweepGrid) *sim.SweepOutcome) (string, string) {
 	t.Helper()
 	s, err := NewSuite(goldenConfig(), t.Logf)
 	if err != nil {
@@ -41,6 +48,9 @@ func buildReportWithSim(t *testing.T, parallel int,
 	}
 	if timeline != nil {
 		s.simTimeline = timeline
+	}
+	if sweep != nil {
+		s.simSweep = sweep
 	}
 	report, err := s.BuildReport(context.Background(), nil, runner.Options{Parallel: parallel})
 	if err != nil {
@@ -60,9 +70,9 @@ func buildReportWithSim(t *testing.T, parallel int,
 // level. This is the acceptance gate for the sim fast path riding under
 // the public Run/RunTimeline API.
 func TestReportByteIdentitySimKernelVsReference(t *testing.T) {
-	refJSON, refText := buildReportWithSim(t, 1, sim.RunReference, referenceTimeline)
+	refJSON, refText := buildReportWithSim(t, 1, sim.RunReference, referenceTimeline, referenceSweep)
 	for _, parallel := range []int{1, 8} {
-		kJSON, kText := buildReportWithSim(t, parallel, nil, nil) // default: kernel fast path
+		kJSON, kText := buildReportWithSim(t, parallel, nil, nil, nil) // default: kernel + fused-sweep fast paths
 		if kJSON != refJSON {
 			t.Errorf("parallel=%d: kernel JSON report (%d bytes) differs from reference (%d bytes)",
 				parallel, len(kJSON), len(refJSON))

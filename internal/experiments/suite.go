@@ -44,6 +44,10 @@ type Config struct {
 	// Fig5Windows are the history lengths swept by Figure 5 (default
 	// 8..32 step 4).
 	Fig5Windows []int
+	// SweepGshareBits are the gshare history lengths swept by the fused
+	// "sweeps" exhibit in one trace pass per workload (default 8..22
+	// step 2).
+	SweepGshareBits []uint
 	// Fig9Benchmarks are the benchmarks plotted in Figure 9 (default gcc
 	// and perl, as in the paper).
 	Fig9Benchmarks []string
@@ -98,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Fig5Windows) == 0 {
 		c.Fig5Windows = []int{8, 12, 16, 20, 24, 28, 32}
+	}
+	if len(c.SweepGshareBits) == 0 {
+		c.SweepGshareBits = []uint{8, 10, 12, 14, 16, 18, 20, 22}
 	}
 	if len(c.Fig9Benchmarks) == 0 {
 		c.Fig9Benchmarks = []string{"gcc", "perl"}
@@ -192,6 +199,12 @@ type Suite struct {
 	// dispatch), and the differential tests swap in a kernel-stripping
 	// wrapper.
 	simTimeline func(tr *trace.Trace, bucket int, predictors ...bp.Predictor) []*sim.Timeline
+
+	// simSweep drives a whole config grid over a trace in one call. It
+	// defaults to sim.SimulateSweep, whose fused path kicks in when the
+	// grid is a bp.SweepKernel; differential tests swap in a
+	// ForceReference call to prove report bytes are engine-independent.
+	simSweep func(tr *trace.Trace, grid bp.SweepGrid) *sim.SweepOutcome
 }
 
 // NewSuite generates traces for the configured workloads and returns a
@@ -221,6 +234,9 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 	}
 	s.simTimeline = func(tr *trace.Trace, bucket int, predictors ...bp.Predictor) []*sim.Timeline {
 		return sim.Simulate(tr, predictors, sim.Options{BucketSize: bucket, Observer: cfg.Obs}).Timelines
+	}
+	s.simSweep = func(tr *trace.Trace, grid bp.SweepGrid) *sim.SweepOutcome {
+		return sim.SimulateSweep(tr, grid, sim.Options{Observer: cfg.Obs})
 	}
 	var store *corpus.Store
 	if cfg.CorpusDir != "" {

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"branchcorr/internal/bp"
+	"branchcorr/internal/obs"
+	"branchcorr/internal/trace"
+)
+
+// This file is the sweep engine: whole config grids — the shape of every
+// figure in the paper — simulated in one call. Grids with a fused kernel
+// (bp.SweepKernel) update every config from a single walk over the
+// packed columns; grids without one fall back to per-config simulation
+// inside the same call, each config on its own best engine. The
+// differential tests pin both engines bit-identical, per config, to
+// independent Simulate runs.
+
+// SweepOutcome is everything one SimulateSweep call produced: one
+// correct-prediction count per grid config, in grid order, over a
+// common record total.
+type SweepOutcome struct {
+	Grid    string   // grid name (bp.SweepGrid.GridName)
+	Trace   string   // trace name
+	Configs []string // per-config labels, grid order
+	Correct []int64  // per-config correct predictions
+	Total   int      // dynamic branches simulated (same for every config)
+}
+
+// Accuracy returns config c's prediction accuracy in [0,1].
+func (o *SweepOutcome) Accuracy(c int) float64 {
+	if o.Total == 0 {
+		return 0
+	}
+	return float64(o.Correct[c]) / float64(o.Total)
+}
+
+// newSweepOutcome shapes an outcome for the grid with zeroed counts.
+func newSweepOutcome(grid bp.SweepGrid, traceName string) *SweepOutcome {
+	names := grid.ConfigNames()
+	return &SweepOutcome{
+		Grid:    grid.GridName(),
+		Trace:   traceName,
+		Configs: names,
+		Correct: make([]int64, len(names)),
+	}
+}
+
+// sweepAccount reports the work-proportional sweep counters: they
+// depend only on (trace length, grid, options), never on scheduling or
+// chunking, so snapshots stay deterministic.
+func sweepAccount(reg *obs.Registry, grid string, ncfg, records int, fused bool) {
+	reg.Counter("sim.sweep.configs").Add(int64(ncfg))
+	reg.Counter("sim.sweep.records").Add(int64(records))
+	reg.Counter("sim.sweep.predictions").Add(int64(ncfg) * int64(records))
+	if fused {
+		reg.Counter("sim.sweep.runs.fused").Inc()
+		reg.Counter("sim.sweep.fused." + grid).Inc()
+	} else {
+		reg.Counter("sim.sweep.runs.fallback").Inc()
+		reg.Counter("sim.sweep.fallback." + grid).Inc()
+	}
+}
+
+// SimulateSweep drives an entire config grid over the trace in one call
+// and returns the per-config correct counts in grid order. When the
+// grid implements bp.SweepKernel (and opts.ForceReference is unset) the
+// whole grid updates from a single fused walk over the trace's memoized
+// packed columns — configs × records predictions for one column pass.
+// Other grids (and ForceReference runs) fall back to per-config
+// simulation: each of grid.Configs() replays the trace on its own best
+// engine (columnar kernel when it has one, the scalar reference loop
+// otherwise; ForceReference pins the scalar loop). Both engines are
+// pinned bit-identical, per config, to independent Simulate runs by the
+// package's sweep differential tests.
+//
+// Engagement and volume report into opts.Observer (default
+// obs.Default()): sim.sweep.runs.{fused,fallback} and per-grid
+// sim.sweep.{fused,fallback}.<grid>, plus sim.sweep.configs,
+// sim.sweep.records, and sim.sweep.predictions (configs × records).
+func SimulateSweep(t *trace.Trace, grid bp.SweepGrid, opts Options) *SweepOutcome {
+	reg := obs.Or(opts.Observer)
+	defer reg.StartSpan("sim.simulate_sweep").End()
+	pt := t.Packed()
+	out := newSweepOutcome(grid, t.Name())
+	out.Total = pt.Len()
+	k, fused := grid.(bp.SweepKernel)
+	fused = fused && !opts.ForceReference
+	sweepAccount(reg, out.Grid, len(out.Configs), pt.Len(), fused)
+	if fused {
+		scratch := make([]int32, len(out.Configs))
+		k.SweepBlock(fullBlock(pt), scratch)
+		for c, v := range scratch {
+			out.Correct[c] = int64(v)
+		}
+		return out
+	}
+	var perID []int32 // shared per-branch scratch; only the totals matter
+	for c, p := range grid.Configs() {
+		if kp, ok := p.(bp.KernelPredictor); ok && !opts.ForceReference {
+			if perID == nil {
+				perID = make([]int32, pt.NumBranches())
+			}
+			out.Correct[c] = int64(kp.SimulateBlock(fullBlock(pt), perID))
+			continue
+		}
+		n := 0
+		for _, rec := range t.Records() {
+			correct := p.Predict(rec) == rec.Taken
+			p.Update(rec)
+			if correct {
+				n++
+			}
+		}
+		out.Correct[c] = int64(n)
+	}
+	return out
+}
+
+// SimulateSweepBlocks is SimulateSweep over a streaming block source:
+// the whole grid advances through one bounded-memory pass, one chunk
+// resident at a time, so figure-scale sweeps run in O(chunk) memory
+// straight from corpus.OpenBlocks streams. Fused grids replay each
+// chunk through SweepBlock (per-chunk counts accumulate in int64, so
+// stream length is unbounded); fallback grids replay each chunk through
+// every config before the next chunk loads. Results are bit-identical
+// to SimulateSweep over the equivalent in-memory trace at any chunk
+// size, pinned by the streamed sweep differential tests.
+//
+// On top of SimulateSweep's counters the pass reports sim.sweep.blocks
+// and the peak-resident-chunk gauge sim.stream.peak_block_bytes.
+func SimulateSweepBlocks(src trace.BlockSource, grid bp.SweepGrid, opts Options) (*SweepOutcome, error) {
+	reg := obs.Or(opts.Observer)
+	defer reg.StartSpan("sim.simulate_sweep_blocks").End()
+	out := newSweepOutcome(grid, src.Name())
+	ncfg := len(out.Configs)
+	k, fused := grid.(bp.SweepKernel)
+	fused = fused && !opts.ForceReference
+	var preds []bp.Predictor
+	var kernels []bp.KernelPredictor
+	if !fused {
+		preds = grid.Configs()
+		kernels = make([]bp.KernelPredictor, len(preds))
+		for c, p := range preds {
+			if kp, ok := p.(bp.KernelPredictor); ok && !opts.ForceReference {
+				kernels[c] = kp
+			}
+		}
+	}
+	scratch := make([]int32, ncfg)
+	var perID []int32
+	pos := 0
+	for {
+		blk, ok := src.Next()
+		if !ok {
+			break
+		}
+		addrs := src.Addrs()
+		reg.Counter("sim.sweep.blocks").Inc()
+		reg.Gauge("sim.stream.peak_block_bytes").Max(int64(blk.Bytes() + len(addrs)*4))
+		kblk := bp.KernelBlock{IDs: blk.IDs, Taken: blk.Taken, Back: blk.Back, Addrs: addrs, Lo: 0, Hi: blk.Len()}
+		if fused {
+			for c := range scratch {
+				scratch[c] = 0
+			}
+			k.SweepBlock(kblk, scratch)
+			for c, v := range scratch {
+				out.Correct[c] += int64(v)
+			}
+		} else {
+			perID = growInt32(perID, len(addrs))
+			for c, p := range preds {
+				if kp := kernels[c]; kp != nil {
+					out.Correct[c] += int64(kp.SimulateBlock(kblk, perID))
+				} else {
+					out.Correct[c] += int64(referenceSegment(p, blk, addrs, 0, blk.Len(), perID))
+				}
+			}
+		}
+		pos += blk.Len()
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	out.Total = pos
+	sweepAccount(reg, out.Grid, ncfg, pos, fused)
+	return out, nil
+}
