@@ -80,13 +80,19 @@ bench-sim:
 		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # bench-sweep refreshes the recorded fused-sweep baseline: whole-grid
-# benchmarks (independent per-config kernel runs vs one fused pass, at
-# 100k and 1M branches) piped through cmd/benchjson into
-# BENCH_sweep.json. Each benchmark's branches/s metric is aggregate
-# throughput (configs × branches / wall); the 15-config gshare-hist grid
-# at 1M is the headline pair. Aggregate throughput is bound by the
-# recording core's per-access counter-update floor, so compare runs only
-# against baselines recorded on the same machine.
+# benchmarks (independent per-config kernel runs vs one fused pass vs
+# the config-sharded scheduler at 1/2/NumCPU shards, at 100k and 1M
+# branches) piped through cmd/benchjson into BENCH_sweep.json. Each
+# benchmark's branches/s metric is aggregate throughput (configs ×
+# branches / wall); the 15-config gshare-hist grid at 1M is the
+# headline pair, and its shards=NumCPU row is the multi-core ceiling
+# (every row is stamped with its GOMAXPROCS and shard count). The
+# differential gate runs first — recording throughput for an engine
+# whose equivalence tests fail would be meaningless — and the shards
+# benchmarks themselves fail loudly (assertFusedEngagement) if any
+# iteration leaves the fused path. A single-core run still emits
+# shards=2 rows, but only real cores turn them into speedup.
 bench-sweep:
+	$(GO) test -run 'Sweep|PredictorGrid|Shard' ./internal/bp/ ./internal/sim/ ./internal/core/
 	$(GO) test -run '^$$' -bench 'SimSweep' \
 		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_sweep.json

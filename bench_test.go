@@ -22,6 +22,7 @@ import (
 	"branchcorr/internal/bp"
 	"branchcorr/internal/core"
 	"branchcorr/internal/experiments"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/runner"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/trace"
@@ -758,6 +759,14 @@ func benchSweepGrids() []struct {
 			pasGeoms = append(pasGeoms, bp.PAsGeom{HistBits: h, PHTBits: p})
 		}
 	}
+	hybridBits := make([]uint, 0, 12)
+	for bits := uint(8); bits <= 19; bits++ {
+		hybridBits = append(hybridBits, bits)
+	}
+	// IF histories stay short: the interference-free tables are maps
+	// keyed by (address, history), so long histories key memory-
+	// proportional-to-trace state per config.
+	ifBits := []uint{2, 3, 4, 5, 6, 7}
 	return []struct {
 		name string
 		mk   func() bp.SweepGrid
@@ -766,6 +775,42 @@ func benchSweepGrids() []struct {
 		{"bimodal-size", func() bp.SweepGrid { return bp.NewBimodalSweep(bimodalBits) }},
 		{"gas-geom", func() bp.SweepGrid { return bp.NewGAsSweep(gasGeoms) }},
 		{"pas-geom", func() bp.SweepGrid { return bp.NewPAsSweep(10, pasGeoms) }},
+		{"hybrid-gshare", func() bp.SweepGrid { return bp.NewHybridSweep(hybridBits, 12, 10) }},
+		{"ifgshare-hist", func() bp.SweepGrid { return bp.NewIFGshareSweep(ifBits) }},
+	}
+}
+
+// benchShardCounts are the config-shard settings BENCH_sweep.json
+// records rows at: sequential, two shards, and the machine width —
+// deduplicated so a single-core runner still produces a shards=2 row
+// (exercising the scheduler; the speedup needs real cores).
+func benchShardCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// assertFusedEngagement fails a sweep benchmark whose iterations left
+// the fused path: a silent fallback or degraded shard would publish
+// misleading throughput into BENCH_sweep.json. This is the loud half of
+// the bench-sweep differential gate.
+func assertFusedEngagement(b *testing.B, reg *obs.Registry, iters int64, shards int) {
+	b.Helper()
+	if got := reg.Counter("sim.sweep.runs.fused").Value(); got != iters {
+		b.Fatalf("fused engine engaged on %d of %d iterations", got, iters)
+	}
+	if got := reg.Counter("sim.sweep.runs.fallback").Value(); got != 0 {
+		b.Fatalf("fallback engine engaged %d times on a fused grid", got)
+	}
+	if got := reg.Counter("sim.sweep.shards.degraded").Value(); got != 0 {
+		b.Fatalf("%d shards degraded off the fused path", got)
+	}
+	if shards > 1 {
+		if got := reg.Counter("sim.sweep.runs.sharded").Value(); got != iters {
+			b.Fatalf("sharded scheduler engaged on %d of %d iterations", got, iters)
+		}
 	}
 }
 
@@ -800,6 +845,17 @@ func BenchmarkSimSweep(b *testing.B) {
 				}
 				b.ReportMetric(float64(ncfg)*float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
 			})
+			for _, shards := range benchShardCounts() {
+				b.Run(fmt.Sprintf("grid=%s/len=%d/impl=fused/shards=%d", grid.name, n, shards), func(b *testing.B) {
+					reg := obs.New()
+					opts := sim.Options{Parallel: shards, Observer: reg}
+					for i := 0; i < b.N; i++ {
+						sim.SimulateSweep(tr, grid.mk(), opts)
+					}
+					b.ReportMetric(float64(ncfg)*float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+					assertFusedEngagement(b, reg, int64(b.N), shards)
+				})
+			}
 		}
 	}
 }

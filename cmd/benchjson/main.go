@@ -1,11 +1,20 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // stable JSON document on stdout, pairing impl=ref / impl=kernel
 // sub-benchmarks into explicit speedup records. The repo's recorded
-// performance baselines (BENCH_oracle.json) are produced by piping the
-// oracle benchmarks through it — see the bench-oracle make target.
+// performance baselines (BENCH_oracle.json, BENCH_sweep.json) are
+// produced by piping the benchmarks through it — see the bench-*
+// make targets.
 //
-// The output contains no timestamps or host details: re-running the
-// pipeline on the same numbers reproduces the same bytes.
+// Every row is stamped with the parallelism it ran at: the GOMAXPROCS
+// the testing package appended to the name (the "-8" suffix, stripped
+// from the name itself) and the config-shard count parsed from a
+// /shards=N segment (1 when absent). The document carries an env block
+// with the "cpu:" header line and the run's GOMAXPROCS, so recorded
+// throughput is attributable to a machine shape.
+//
+// Everything emitted derives from the input bytes alone — no
+// timestamps, no host probing — so re-running the pipeline on the same
+// numbers reproduces the same bytes.
 package main
 
 import (
@@ -24,7 +33,16 @@ import (
 type Benchmark struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	Gomaxprocs int                `json:"gomaxprocs"`
+	Shards     int                `json:"shards"`
 	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Env is the machine shape the benchmarks ran at, as reported by the
+// bench output itself.
+type Env struct {
+	CPU        string `json:"cpu,omitempty"`
+	Gomaxprocs int    `json:"gomaxprocs,omitempty"`
 }
 
 // Speedup pairs one benchmark's baseline and optimized variants:
@@ -39,21 +57,33 @@ type Speedup struct {
 
 // Doc is the emitted document.
 type Doc struct {
+	Env        Env         `json:"env"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
 }
 
 // gomaxprocsSuffix is the "-8" style suffix go test appends to the last
-// name segment.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+// name segment (absent when GOMAXPROCS is 1).
+var gomaxprocsSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// shardsSegment is the /shards=N name segment of the config-sharded
+// sweep benchmarks.
+var shardsSegment = regexp.MustCompile(`/shards=(\d+)(/|$)`)
 
 // parse reads `go test -bench` output and returns the result lines in
-// input order.
-func parse(r io.Reader) ([]Benchmark, error) {
+// input order plus the environment gleaned from the headers and name
+// suffixes.
+func parse(r io.Reader) ([]Benchmark, Env, error) {
 	var out []Benchmark
+	env := Env{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			env.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		fields := strings.Fields(line)
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
@@ -61,21 +91,34 @@ func parse(r io.Reader) ([]Benchmark, error) {
 		if err != nil {
 			continue // PASS/ok trailer or malformed line
 		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := 1
+		if m := gomaxprocsSuffix.FindStringSubmatch(name); m != nil {
+			procs, _ = strconv.Atoi(m[1])
+			name = strings.TrimSuffix(name, m[0])
+		}
+		env.Gomaxprocs = max(env.Gomaxprocs, procs)
+		shards := 1
+		if m := shardsSegment.FindStringSubmatch(name); m != nil {
+			shards, _ = strconv.Atoi(m[1])
+		}
 		b := Benchmark{
-			Name:       gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Name:       name,
 			Iterations: iters,
+			Gomaxprocs: procs,
+			Shards:     shards,
 			Metrics:    map[string]float64{},
 		}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("%s: bad metric value %q", b.Name, fields[i])
+				return nil, env, fmt.Errorf("%s: bad metric value %q", b.Name, fields[i])
 			}
 			b.Metrics[fields[i+1]] = v
 		}
 		out = append(out, b)
 	}
-	return out, sc.Err()
+	return out, env, sc.Err()
 }
 
 // speedups pairs names that differ only in a baseline-vs-optimized
@@ -125,7 +168,7 @@ func speedups(benches []Benchmark) []Speedup {
 }
 
 func main() {
-	benches, err := parse(os.Stdin)
+	benches, env, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -134,7 +177,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	doc := Doc{Benchmarks: benches, Speedups: speedups(benches)}
+	doc := Doc{Env: env, Benchmarks: benches, Speedups: speedups(benches)}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

@@ -8,6 +8,7 @@ import (
 const sample = `goos: linux
 goarch: amd64
 pkg: branchcorr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkPackedTraceBuild/len=100000-8         	      10	   1831194 ns/op	  54646481 branches/s
 BenchmarkOracleProfile/len=100000/impl=ref-8   	       5	  91258348 ns/op	   1095800 branches/s
 BenchmarkOracleProfile/len=100000/impl=kernel-8         	      10	  44392924 ns/op	   2252660 branches/s
@@ -16,7 +17,7 @@ ok  	branchcorr	7.487s
 `
 
 func TestParse(t *testing.T) {
-	benches, err := parse(strings.NewReader(sample))
+	benches, env, err := parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,16 +31,28 @@ func TestParse(t *testing.T) {
 	if b.Iterations != 5 {
 		t.Errorf("iterations = %d, want 5", b.Iterations)
 	}
+	if b.Gomaxprocs != 8 {
+		t.Errorf("gomaxprocs = %d, want 8 (recorded from the stripped suffix)", b.Gomaxprocs)
+	}
+	if b.Shards != 1 {
+		t.Errorf("shards = %d, want 1 (default for rows without /shards=)", b.Shards)
+	}
 	if b.Metrics["ns/op"] != 91258348 {
 		t.Errorf("ns/op = %v", b.Metrics["ns/op"])
 	}
 	if b.Metrics["branches/s"] != 1095800 {
 		t.Errorf("branches/s = %v", b.Metrics["branches/s"])
 	}
+	if env.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("env cpu = %q", env.CPU)
+	}
+	if env.Gomaxprocs != 8 {
+		t.Errorf("env gomaxprocs = %d, want 8", env.Gomaxprocs)
+	}
 }
 
 func TestSpeedups(t *testing.T) {
-	benches, err := parse(strings.NewReader(sample))
+	benches, _, err := parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +74,12 @@ func TestSpeedups(t *testing.T) {
 
 const sweepSample = `BenchmarkSimSweep/grid=gshare-hist/len=1000000/impl=independent-8 	       3	 412345678 ns/op	  36000000 branches/s
 BenchmarkSimSweep/grid=gshare-hist/len=1000000/impl=fused-8       	      50	  12345678 ns/op	1215000000 branches/s
+BenchmarkSimSweep/grid=gshare-hist/len=1000000/impl=fused/shards=8-8 	      50	   2345678 ns/op	6400000000 branches/s
 BenchmarkSimSweep/grid=pas-geom/len=100000/impl=fused-8           	      50	   2345678 ns/op	 512000000 branches/s
 `
 
 func TestSpeedupsSweepPairs(t *testing.T) {
-	benches, err := parse(strings.NewReader(sweepSample))
+	benches, _, err := parse(strings.NewReader(sweepSample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +100,46 @@ func TestSpeedupsSweepPairs(t *testing.T) {
 	}
 }
 
+func TestParseShards(t *testing.T) {
+	benches, _, err := parse(strings.NewReader(sweepSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(benches))
+	}
+	sharded := benches[2]
+	if sharded.Name != "SimSweep/grid=gshare-hist/len=1000000/impl=fused/shards=8" {
+		t.Errorf("name = %q (only the GOMAXPROCS suffix is stripped, not /shards=)", sharded.Name)
+	}
+	if sharded.Shards != 8 {
+		t.Errorf("shards = %d, want 8", sharded.Shards)
+	}
+	if sharded.Gomaxprocs != 8 {
+		t.Errorf("gomaxprocs = %d, want 8", sharded.Gomaxprocs)
+	}
+	if benches[1].Shards != 1 {
+		t.Errorf("unsharded fused row shards = %d, want 1", benches[1].Shards)
+	}
+}
+
+func TestParseNoSuffixSingleCore(t *testing.T) {
+	benches, env, err := parse(strings.NewReader(
+		"BenchmarkSimSweep/grid=g/len=10/impl=fused/shards=2 	 1	 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benches[0].Gomaxprocs != 1 || env.Gomaxprocs != 1 {
+		t.Errorf("gomaxprocs = %d / env %d, want 1 (no suffix on a single-core run)",
+			benches[0].Gomaxprocs, env.Gomaxprocs)
+	}
+	if benches[0].Shards != 2 {
+		t.Errorf("shards = %d, want 2", benches[0].Shards)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
-	benches, err := parse(strings.NewReader("no benchmarks here\n"))
+	benches, _, err := parse(strings.NewReader("no benchmarks here\n"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,10 +43,11 @@ func (s *specList) Set(v string) error {
 
 // options carries the parsed flags into run.
 type options struct {
-	n          int
-	wls        string
-	exhibits   string
-	parallel   int
+	n           int
+	wls         string
+	exhibits    string
+	parallel    int
+	sweepShards int
 	quiet      bool
 	asJSON     bool
 	cpuprofile string
@@ -64,6 +65,7 @@ func main() {
 	flag.StringVar(&o.wls, "workloads", "", "comma-separated workload subset (default all)")
 	flag.StringVar(&o.exhibits, "exhibits", "all", "comma-separated exhibits: "+strings.Join(experiments.ExhibitOrder(), ","))
 	flag.IntVar(&o.parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for report cells (output is identical at any value)")
+	flag.IntVar(&o.sweepShards, "sweep-shards", 0, "config shards per sweep-driven exhibit: >1 splits each grid across that many cores, <0 uses GOMAXPROCS (output is identical at any value)")
 	flag.BoolVar(&o.quiet, "q", false, "suppress progress logging")
 	flag.BoolVar(&o.asJSON, "json", false, "emit one JSON report instead of rendered text")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
@@ -139,7 +141,7 @@ func run(o options) (err error) {
 		}()
 	}
 
-	cfg := experiments.Config{Length: o.n, ExtraSpecs: o.specs, CorpusDir: o.corpusDir}
+	cfg := experiments.Config{Length: o.n, ExtraSpecs: o.specs, CorpusDir: o.corpusDir, SweepShards: o.sweepShards}
 	if o.wls != "" {
 		cfg.Workloads = strings.Split(o.wls, ",")
 	}

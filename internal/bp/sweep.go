@@ -88,6 +88,32 @@ type SweepKernel interface {
 	SweepBlock(blk KernelBlock, correct []int32)
 }
 
+// SweepSharder is a SweepGrid that can split itself into independent
+// contiguous sub-grids, the unit of config-sharded parallel sweeps:
+// configs of one grid share no counter state, so per-config correct
+// counts compose exactly — running Shard(0,k) and Shard(k,n) over the
+// same record stream produces, config for config, the counts the whole
+// grid would.
+//
+// Shard returns the sub-grid covering configs [lo, hi) of the receiver
+// in grid order (0 <= lo < hi <= config count, panicking otherwise).
+// For the fused parameter grids the sub-grid is a freshly initialized
+// instance over the parameter subset — shard a grid before replaying
+// any records through it. PredictorGrid is the exception: its configs
+// ARE the held instances, so its shards are views sharing those
+// instances, and composition holds because shard ranges are disjoint.
+type SweepSharder interface {
+	SweepGrid
+	Shard(lo, hi int) SweepGrid
+}
+
+// checkShardRange validates a Shard call against the config count.
+func checkShardRange(lo, hi, n int) {
+	if lo < 0 || hi > n || lo >= hi {
+		panic(fmt.Sprintf("bp: sweep shard range [%d,%d) invalid for %d configs", lo, hi, n))
+	}
+}
+
 // sweepTile is the tile length in records: big enough to amortize the
 // per-tile config-loop setup, small enough that the packed key|outcome
 // scratch (4 bytes per record) stays L1-resident under the config
@@ -196,6 +222,13 @@ func (g *GshareSweep) Configs() []Predictor {
 		out[c] = NewGshare(b)
 	}
 	return out
+}
+
+// Shard implements SweepSharder: a fresh fused grid over the history
+// lengths [lo, hi).
+func (g *GshareSweep) Shard(lo, hi int) SweepGrid {
+	checkShardRange(lo, hi, len(g.bits))
+	return NewGshareSweep(g.bits[lo:hi])
 }
 
 // SweepBlock implements SweepKernel. The shared pass pays the
@@ -317,6 +350,13 @@ func (g *BimodalSweep) Configs() []Predictor {
 		out[c] = NewBimodal(b)
 	}
 	return out
+}
+
+// Shard implements SweepSharder: a fresh fused grid over the table
+// sizes [lo, hi).
+func (g *BimodalSweep) Shard(lo, hi int) SweepGrid {
+	checkShardRange(lo, hi, len(g.bits))
+	return NewBimodalSweep(g.bits[lo:hi])
 }
 
 // SweepBlock implements SweepKernel.
@@ -457,6 +497,13 @@ func (g *GAsSweep) Configs() []Predictor {
 		out[c] = NewGAs(geo.HistBits, geo.AddrBits)
 	}
 	return out
+}
+
+// Shard implements SweepSharder: a fresh fused grid over the geometries
+// [lo, hi).
+func (g *GAsSweep) Shard(lo, hi int) SweepGrid {
+	checkShardRange(lo, hi, len(g.geoms))
+	return NewGAsSweep(g.geoms[lo:hi])
 }
 
 // SweepBlock implements SweepKernel. The staged key is the masked
@@ -624,6 +671,15 @@ func (g *PAsSweep) Configs() []Predictor {
 	return out
 }
 
+// Shard implements SweepSharder: a fresh fused grid over the geometries
+// [lo, hi) at the same BHT size (each shard owns a private BHT, which is
+// exact: the registers are stream-determined, so every shard's BHT holds
+// identical values).
+func (g *PAsSweep) Shard(lo, hi int) SweepGrid {
+	checkShardRange(lo, hi, len(g.geoms))
+	return NewPAsSweep(g.bhtBits, g.geoms[lo:hi])
+}
+
 // SweepBlock implements SweepKernel. The shared pass fetches each
 // record's history register once, stages its pre-update value as the
 // key (every config trains its counter with the history as it stood
@@ -735,10 +791,28 @@ func (g *PredictorGrid) ConfigNames() []string {
 // Configs implements SweepGrid.
 func (g *PredictorGrid) Configs() []Predictor { return g.preds }
 
+// Shard implements SweepSharder as a view over the held instances
+// [lo, hi) — NOT a fresh copy, because the instances are the configs
+// (see NewPredictorGrid). Sharded execution stays exact as long as each
+// instance is replayed by exactly one shard, which disjoint ranges
+// guarantee.
+func (g *PredictorGrid) Shard(lo, hi int) SweepGrid {
+	checkShardRange(lo, hi, len(g.preds))
+	return &PredictorGrid{
+		name:  fmt.Sprintf("%s[%d:%d)", g.name, lo, hi),
+		preds: g.preds[lo:hi:hi],
+	}
+}
+
 var (
-	_ SweepKernel = (*GshareSweep)(nil)
-	_ SweepKernel = (*BimodalSweep)(nil)
-	_ SweepKernel = (*GAsSweep)(nil)
-	_ SweepKernel = (*PAsSweep)(nil)
-	_ SweepGrid   = (*PredictorGrid)(nil)
+	_ SweepKernel  = (*GshareSweep)(nil)
+	_ SweepKernel  = (*BimodalSweep)(nil)
+	_ SweepKernel  = (*GAsSweep)(nil)
+	_ SweepKernel  = (*PAsSweep)(nil)
+	_ SweepGrid    = (*PredictorGrid)(nil)
+	_ SweepSharder = (*GshareSweep)(nil)
+	_ SweepSharder = (*BimodalSweep)(nil)
+	_ SweepSharder = (*GAsSweep)(nil)
+	_ SweepSharder = (*PAsSweep)(nil)
+	_ SweepSharder = (*PredictorGrid)(nil)
 )

@@ -32,3 +32,27 @@ func TestSweepBlockAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepBlockAllocsMapGrids bounds the interference-free families,
+// whose tables are maps: the per-record path must not allocate, but a
+// replayed block starts from a different history register than the last
+// replay, so its first few records can key previously unseen map
+// entries (at most historyBits per config per replay). The gate is
+// therefore a small constant per whole-block call — anything
+// per-record would cost tens of thousands.
+func TestSweepBlockAllocsMapGrids(t *testing.T) {
+	tr := kernelRandomTrace(7, 20_000)
+	pt := tr.Packed()
+	full := blockOf(pt, 0, pt.Len())
+	for family, mk := range mapSweepGrids() {
+		g := mk()
+		correct := make([]int32, len(g.ConfigNames()))
+		// Warm-up: grows the per-ID key columns and populates the steady
+		// keys; two passes so replay-boundary keys mostly exist too.
+		g.SweepBlock(full, correct)
+		g.SweepBlock(full, correct)
+		if n := testing.AllocsPerRun(10, func() { g.SweepBlock(full, correct) }); n > 64 {
+			t.Errorf("%s: %.1f allocs per steady-state SweepBlock, want boundary-bounded (<= 64)", family, n)
+		}
+	}
+}

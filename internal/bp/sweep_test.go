@@ -41,7 +41,45 @@ func sweepGrids() map[string]func() bp.SweepKernel {
 				{HistBits: 12, PHTBits: 2},
 			})
 		},
+		// Tiny chooser and bimodal tables so both alias across the gshare
+		// column sweep; non-monotone gshare sizes.
+		"hybrid": func() bp.SweepKernel {
+			return bp.NewHybridSweep([]uint{8, 1, 4, 11, 6}, 5, 4)
+		},
+		// Heterogeneous concatenation: the shim must hand each part its
+		// exact slice of the count vector, in argument order.
+		"concat": func() bp.SweepKernel {
+			return bp.NewConcatSweep("concat-mixed",
+				bp.NewGshareSweep([]uint{3, 7}),
+				bp.NewHybridSweep([]uint{5, 9}, 6, 5),
+				bp.NewBimodalSweep([]uint{2, 8}),
+			)
+		},
 	}
+}
+
+// mapSweepGrids enumerates the interference-free families separately:
+// their tables are maps (unbounded per-(address, history) state), so
+// they are conformance-tested with everything else but carry a bounded
+// — not zero — steady-state allocation gate.
+func mapSweepGrids() map[string]func() bp.SweepKernel {
+	return map[string]func() bp.SweepKernel{
+		"if-gshare": func() bp.SweepKernel {
+			return bp.NewIFGshareSweep([]uint{1, 4, 8, 12, 16})
+		},
+		"if-pas": func() bp.SweepKernel {
+			return bp.NewIFPAsSweep([]uint{1, 3, 6, 10, 14})
+		},
+	}
+}
+
+// allSweepGrids merges every fused family for the conformance suites.
+func allSweepGrids() map[string]func() bp.SweepKernel {
+	all := sweepGrids()
+	for name, mk := range mapSweepGrids() {
+		all[name] = mk
+	}
+	return all
 }
 
 // scalarSweepTotals replays the whole trace through each of the grid's
@@ -85,7 +123,7 @@ func TestSweepScalarConformance(t *testing.T) {
 	for _, seed := range []int64{3, 17} {
 		tr := kernelRandomTrace(seed, 25_000)
 		pt := tr.Packed()
-		for family, mk := range sweepGrids() {
+		for family, mk := range allSweepGrids() {
 			want := scalarSweepTotals(mk(), tr)
 			for _, chunk := range []int{1, 63, 64, 65, 1000, tr.Len()} {
 				got := sweepTotals(mk(), pt, chunk)
@@ -105,7 +143,7 @@ func TestSweepScalarConformance(t *testing.T) {
 // Name() of the scalar predictor it stands for, so sweep results are
 // attributable to exact single-config equivalents.
 func TestSweepConfigNamesMatchScalar(t *testing.T) {
-	for family, mk := range sweepGrids() {
+	for family, mk := range allSweepGrids() {
 		g := mk()
 		names := g.ConfigNames()
 		preds := g.Configs()
@@ -162,6 +200,22 @@ func TestSweepValidation(t *testing.T) {
 		"pas hist over":    func() { bp.NewPAsSweep(8, []bp.PAsGeom{{HistBits: 25}}) },
 		"pas pht over":     func() { bp.NewPAsSweep(8, []bp.PAsGeom{{HistBits: 4, PHTBits: 13}}) },
 		"predictors empty": func() { bp.NewPredictorGrid("none", nil) },
+		"hybrid empty":     func() { bp.NewHybridSweep(nil, 8, 8) },
+		"hybrid gshare over": func() {
+			bp.NewHybridSweep([]uint{27}, 8, 8)
+		},
+		"hybrid bimodal over": func() {
+			bp.NewHybridSweep([]uint{8}, 31, 8)
+		},
+		"hybrid chooser zero": func() {
+			bp.NewHybridSweep([]uint{8}, 8, 0)
+		},
+		"if-gshare empty":     func() { bp.NewIFGshareSweep(nil) },
+		"if-gshare zero bits": func() { bp.NewIFGshareSweep([]uint{8, 0}) },
+		"if-gshare over":      func() { bp.NewIFGshareSweep([]uint{33}) },
+		"if-pas empty":        func() { bp.NewIFPAsSweep(nil) },
+		"if-pas over":         func() { bp.NewIFPAsSweep([]uint{33}) },
+		"concat empty":        func() { bp.NewConcatSweep("none") },
 	}
 	for name, build := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -35,16 +35,36 @@ func (s *Suite) Figure4() *Figure4Result {
 	return res
 }
 
-// figure4Cell computes one benchmark's Figure 4 row.
+// figure4Cell computes one benchmark's Figure 4 row through the fused
+// sweep engine: the three selective predictors, the IF-gshare, and the
+// gshare concatenate into one grid, so the whole row — five configs —
+// costs one walk over the packed columns (per-config accuracies divide
+// the same correct counts an independent Simulate run produces, so the
+// rendered row is byte-identical to the per-predictor path).
 func (s *Suite) figure4Cell(tr *trace.Trace) Figure4Row {
-	b := s.globalFor(tr)
+	sels := s.selsFor(tr)
+	n := s.cfg.Oracle.WindowLen
+	cfgs := make([]core.SelectiveConfig, core.MaxSelectiveRefs)
+	for k := 1; k <= core.MaxSelectiveRefs; k++ {
+		cfgs[k-1] = core.SelectiveConfig{
+			Name:   fmt.Sprintf("IF %d-branch selective(%d)", k, n),
+			Window: n,
+			Assign: sels.BySize[k],
+		}
+	}
+	grid := bp.NewConcatSweep("fig4-global-correlation",
+		core.NewSelectiveSweep("fig4-selective", cfgs),
+		bp.NewIFGshareSweep([]uint{s.cfg.GshareBits}),
+		bp.NewGshareSweep([]uint{s.cfg.GshareBits}),
+	)
+	out := s.simSweep(tr, grid)
 	row := Figure4Row{
 		Benchmark: tr.Name(),
-		IFGshare:  b.ifg.Accuracy(),
-		Gshare:    b.g.Accuracy(),
+		IFGshare:  out.Accuracy(core.MaxSelectiveRefs),
+		Gshare:    out.Accuracy(core.MaxSelectiveRefs + 1),
 	}
 	for k := 1; k <= core.MaxSelectiveRefs; k++ {
-		row.Sel[k] = b.sel[k].Accuracy()
+		row.Sel[k] = out.Accuracy(k - 1)
 	}
 	return row
 }
@@ -102,27 +122,31 @@ func (s *Suite) Figure5() *Figure5Result {
 // suite's most expensive exhibit.
 func (s *Suite) figure5Cell(ctx context.Context, tr *trace.Trace) []float64 {
 	accs := make([]float64, len(s.cfg.Fig5Windows))
-	preds := make([]bp.Predictor, 0, len(s.cfg.Fig5Windows))
+	cfgs := make([]core.SelectiveConfig, 0, len(s.cfg.Fig5Windows))
 	for _, n := range s.cfg.Fig5Windows {
 		if ctx.Err() != nil {
 			break
 		}
 		var sels *core.Selections
 		if n == s.cfg.Oracle.WindowLen {
-			sels = s.globalFor(tr).sels // reuse the shared bundle
+			sels = s.selsFor(tr) // reuse the shared selection
 		} else {
 			s.log("%s: oracle selection (window %d)", tr.Name(), n)
 			ocfg := s.cfg.Oracle
 			ocfg.WindowLen = n
 			sels = s.oracleBuild(tr, ocfg)
 		}
-		preds = append(preds, core.NewSelective(fmt.Sprintf("IF 3-branch selective(%d)", n), n, sels.BySize[3]))
+		cfgs = append(cfgs, core.SelectiveConfig{
+			Name:   fmt.Sprintf("IF 3-branch selective(%d)", n),
+			Window: n,
+			Assign: sels.BySize[3],
+		})
 	}
-	if len(preds) == 0 {
+	if len(cfgs) == 0 {
 		return accs
 	}
-	out := s.simSweep(tr, bp.NewPredictorGrid("fig5-selective-windows", preds))
-	for c := range preds {
+	out := s.simSweep(tr, core.NewSelectiveSweep("fig5-selective-windows", cfgs))
+	for c := range cfgs {
 		accs[c] = out.Accuracy(c)
 	}
 	return accs

@@ -48,6 +48,13 @@ type Config struct {
 	// "sweeps" exhibit in one trace pass per workload (default 8..22
 	// step 2).
 	SweepGshareBits []uint
+	// SweepShards is the config-shard worker budget every sweep-driven
+	// exhibit passes to sim (Options.Parallel): above 1, each grid
+	// splits into up to that many contiguous sub-grids running on
+	// separate cores, composing byte-identically. 0 or 1 (the default)
+	// keeps sweeps sequential — and the shard-scheduling counters out of
+	// the default metrics snapshot; negative selects GOMAXPROCS.
+	SweepShards int
 	// Fig9Benchmarks are the benchmarks plotted in Figure 9 (default gcc
 	// and perl, as in the paper).
 	Fig9Benchmarks []string
@@ -176,6 +183,7 @@ type Suite struct {
 	cfg     Config
 	obs     *obs.Registry
 	traces  []*trace.Trace
+	sels    memo[*core.Selections]
 	global  memo[*globalBundle]
 	classes memo[*core.PAClassification]
 	base    memo[*baseBundle]
@@ -236,7 +244,7 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 		return sim.Simulate(tr, predictors, sim.Options{BucketSize: bucket, Observer: cfg.Obs}).Timelines
 	}
 	s.simSweep = func(tr *trace.Trace, grid bp.SweepGrid) *sim.SweepOutcome {
-		return sim.SimulateSweep(tr, grid, sim.Options{Observer: cfg.Obs})
+		return sim.SimulateSweep(tr, grid, sim.Options{Observer: cfg.Obs, Parallel: cfg.SweepShards})
 	}
 	var store *corpus.Store
 	if cfg.CorpusDir != "" {
@@ -301,6 +309,19 @@ func (s *Suite) packedFor(tr *trace.Trace) *trace.Packed {
 	return tr.Packed()
 }
 
+// selsFor computes (once) the oracle's selective-history ref choices for
+// a trace at the configured window. The sweep-driven Figure 4 cell and
+// the per-branch bundle (globalFor) both start here, so a report that
+// needs both pays for one oracle pass.
+func (s *Suite) selsFor(tr *trace.Trace) *core.Selections {
+	s.obs.Counter("suite.memo.sels.calls").Inc()
+	return s.sels.get(tr.Name(), func() *core.Selections {
+		s.obs.Counter("suite.memo.sels.misses").Inc()
+		s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
+		return s.oracleBuild(tr, s.cfg.Oracle)
+	})
+}
+
 // globalFor computes (once) the selective/IF-gshare/gshare results for a
 // trace at the configured oracle window. Concurrent callers for the same
 // trace block on one computation and share its bundle.
@@ -308,8 +329,7 @@ func (s *Suite) globalFor(tr *trace.Trace) *globalBundle {
 	s.obs.Counter("suite.memo.global.calls").Inc()
 	return s.global.get(tr.Name(), func() *globalBundle {
 		s.obs.Counter("suite.memo.global.misses").Inc()
-		s.log("%s: oracle selection (window %d)", tr.Name(), s.cfg.Oracle.WindowLen)
-		sels := s.oracleBuild(tr, s.cfg.Oracle)
+		sels := s.selsFor(tr)
 		selective := []bp.Predictor{
 			core.NewSelective(fmt.Sprintf("IF 1-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[1]),
 			core.NewSelective(fmt.Sprintf("IF 2-branch selective(%d)", s.cfg.Oracle.WindowLen), s.cfg.Oracle.WindowLen, sels.BySize[2]),

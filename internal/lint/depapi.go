@@ -136,7 +136,7 @@ var depRewrites = map[string]depRewrite{
 	"sim.RunReference":  {target: "Simulate", options: "ForceReference: true", suffix: ".Results"},
 	"sim.RunOne":        {target: "Simulate", suffix: ".Results[0]", single: true},
 	"sim.RunTimeline":   {target: "Simulate", suffix: ".Timelines", bucketArg: true},
-	"sim.RunConcurrent": {target: "Simulate", options: "Parallel: true", suffix: ".Results"},
+	"sim.RunConcurrent": {target: "Simulate", options: "Parallel: -1", suffix: ".Results"},
 	// RunStream's (results, error) shape has no expression-level
 	// equivalent; it is reported without a fix.
 }

@@ -17,7 +17,7 @@ type Timeline struct{ Acc []float64 }
 
 // Options configures Simulate.
 type Options struct {
-	Parallel       bool
+	Parallel       int
 	BucketSize     int
 	ForceReference bool
 }
@@ -75,5 +75,5 @@ func RunTimeline(t *Trace, bucketSize int, predictors ...bp.Predictor) []*Timeli
 //
 // Deprecated: RunConcurrent is Simulate with Options.Parallel.
 func RunConcurrent(t *Trace, predictors ...bp.Predictor) []*Result {
-	return Simulate(t, predictors, Options{Parallel: true}).Results
+	return Simulate(t, predictors, Options{Parallel: -1}).Results
 }

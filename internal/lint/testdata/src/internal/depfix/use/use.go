@@ -18,7 +18,7 @@ func Demo(t *sim.Trace, a, b bp.Predictor) int {
 	lines := sim.RunTimeline(t, 100, a, b) // want dep-api
 	conc := sim.RunConcurrent(t, preds...) // want dep-api
 	p, _ := bp.ParseEnv("gshare(16)")      // want dep-api
-	direct := sim.Simulate(t, preds, sim.Options{Parallel: true})
+	direct := sim.Simulate(t, preds, sim.Options{Parallel: -1})
 	_ = p
 	return len(results) + one.Total + len(ref) + len(lines) + len(conc) + len(direct.Results)
 }

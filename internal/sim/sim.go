@@ -36,6 +36,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"branchcorr/internal/bp"
@@ -158,10 +159,16 @@ type Timeline struct {
 // case: sequential, no timelines, fastest engine per predictor, metrics
 // into the process-wide default registry.
 type Options struct {
-	// Parallel fans predictors out across the runner worker pool, one
-	// cell per predictor (predictors are independent, the trace is
-	// read-only). Results are bit-identical to a sequential run.
-	Parallel bool
+	// Parallel is the worker budget for fanning independent work across
+	// the runner pool. In Simulate it bounds concurrent predictor runs
+	// (one cell per predictor; predictors are independent, the trace is
+	// read-only). In SimulateSweep and SimulateSweepBlocks it bounds
+	// config shards: the grid splits into up to Parallel contiguous
+	// sub-grids (bp.SweepSharder), each replaying on its own core, and
+	// the per-config counts compose exactly. 0 or 1 runs sequentially;
+	// negative selects runtime.GOMAXPROCS(0). Results are bit-identical
+	// at every setting.
+	Parallel int
 	// BucketSize, when positive, additionally records each predictor's
 	// accuracy per bucket of this many dynamic branches (Outcome.Timelines).
 	BucketSize int
@@ -172,6 +179,15 @@ type Options struct {
 	// Observer receives the engine-engagement counters; nil selects
 	// obs.Default().
 	Observer *obs.Registry
+}
+
+// workers resolves the Parallel budget: non-negative values pass
+// through, negative selects runtime.GOMAXPROCS(0).
+func (o Options) workers() int {
+	if o.Parallel < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
 }
 
 // Outcome carries everything one Simulate call produced, in predictor
@@ -207,7 +223,7 @@ func Simulate(t *trace.Trace, predictors []bp.Predictor, opts Options) *Outcome 
 			out.Timelines[i] = tl
 		}
 	}
-	if opts.Parallel && len(predictors) > 1 {
+	if w := opts.workers(); w > 1 && len(predictors) > 1 {
 		cells := make([]runner.Cell, len(predictors))
 		for i, p := range predictors {
 			i, p := i, p
@@ -220,7 +236,7 @@ func Simulate(t *trace.Trace, predictors []bp.Predictor, opts Options) *Outcome 
 				},
 			}
 		}
-		err := runner.Run(context.Background(), cells, runner.Options{Parallel: len(cells)})
+		err := runner.Run(context.Background(), cells, runner.Options{Parallel: w})
 		if err != nil {
 			// Unreachable: cells never fail and the context is never
 			// cancelled; a scheduler error here is a bug, not a condition.
@@ -420,7 +436,7 @@ func RunStream(sc *trace.Scanner, predictors ...bp.Predictor) ([]*Result, error)
 // Deprecated: RunConcurrent is Simulate with Options.Parallel; new code
 // should call Simulate.
 func RunConcurrent(t *trace.Trace, predictors ...bp.Predictor) []*Result {
-	return Simulate(t, predictors, Options{Parallel: true}).Results
+	return Simulate(t, predictors, Options{Parallel: -1}).Results
 }
 
 // CombineMax builds the paper's hypothetical per-branch combiner: for

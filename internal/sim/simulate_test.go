@@ -30,9 +30,10 @@ func TestSimulateOptionEquivalence(t *testing.T) {
 	base := Simulate(tr, mustParse(t, specs...), Options{})
 	variants := map[string]Options{
 		"force-reference": {ForceReference: true},
-		"parallel":        {Parallel: true},
+		"parallel":        {Parallel: -1},
+		"parallel-capped": {Parallel: 2},
 		"bucketed":        {BucketSize: 1000},
-		"all":             {Parallel: true, BucketSize: 1000, ForceReference: true},
+		"all":             {Parallel: -1, BucketSize: 1000, ForceReference: true},
 	}
 	for name, opts := range variants {
 		got := Simulate(tr, mustParse(t, specs...), opts)
@@ -109,7 +110,7 @@ func TestSimulateEngagementCounters(t *testing.T) {
 func TestSimulateCountersParallelismInvariant(t *testing.T) {
 	tr := randomTrace(9, 8_000)
 	specs := []string{"gshare:12", "bimodal:10", "pas:8,8,2", "tage", "loop"}
-	snapFor := func(parallel bool) []byte {
+	snapFor := func(parallel int) []byte {
 		reg := obs.New()
 		Simulate(tr, mustParse(t, specs...), Options{Parallel: parallel, Observer: reg})
 		b, err := reg.Snapshot().WithoutHistograms().MarshalIndent()
@@ -118,7 +119,7 @@ func TestSimulateCountersParallelismInvariant(t *testing.T) {
 		}
 		return b
 	}
-	seq, par := snapFor(false), snapFor(true)
+	seq, par := snapFor(0), snapFor(-1)
 	if !bytes.Equal(seq, par) {
 		t.Errorf("counter snapshots differ across parallelism:\n%s\nvs\n%s", seq, par)
 	}

@@ -1,8 +1,13 @@
 package sim
 
 import (
+	"context"
+	"fmt"
+	"sync"
+
 	"branchcorr/internal/bp"
 	"branchcorr/internal/obs"
+	"branchcorr/internal/runner"
 	"branchcorr/internal/trace"
 )
 
@@ -13,6 +18,18 @@ import (
 // inside the same call, each config on its own best engine. The
 // differential tests pin both engines bit-identical, per config, to
 // independent Simulate runs.
+//
+// On top of fusion sits config sharding (Options.Parallel > 1): the
+// grid splits into contiguous sub-grids (bp.SweepSharder), one runner
+// cell per shard, each replaying the identical record stream against
+// its own fresh state. Configs of one grid share no counter state, so
+// each shard's per-config counts land in a disjoint slice of the output
+// vector and the composed result is byte-identical to the sequential
+// run — the scheduler only ever changes who computes a count, never the
+// count (pinned by the shard differential tests under -race). In the
+// streaming variant a feeder cell decodes each chunk once and fans it
+// out to every shard with a per-chunk barrier (the source's buffers are
+// reused, so no shard may lag a chunk behind).
 
 // SweepOutcome is everything one SimulateSweep call produced: one
 // correct-prediction count per grid config, in grid order, over a
@@ -60,6 +77,115 @@ func sweepAccount(reg *obs.Registry, grid string, ncfg, records int, fused bool)
 	}
 }
 
+// sweepShards resolves how many config shards a sweep call runs:
+// 1 (sequential) unless the options grant more than one worker and the
+// grid has more than one config, else min(workers, configs).
+func sweepShards(opts Options, ncfg int) int {
+	w := opts.workers()
+	if w <= 1 || ncfg <= 1 {
+		return 1
+	}
+	return min(w, ncfg)
+}
+
+// sweepShard is one scheduled slice of a sharded sweep: the sub-grid
+// covering configs [lo, hi) of the parent, in grid order.
+type sweepShard struct {
+	lo, hi   int
+	grid     bp.SweepGrid
+	degraded bool // parent would fuse but this shard cannot
+}
+
+// planShards partitions the grid's ncfg configs into n balanced
+// contiguous shards. Grids implementing bp.SweepSharder produce fused
+// sub-grids; any other grid degrades to independent per-config
+// simulation via bp.PredictorGrid over a slice of Configs() — exact
+// either way, but the degraded shards are counted so a silently slow
+// sweep is visible in the metrics (parentFused is the parent's
+// effective engine: degradation is only meaningful when the parent
+// would have fused).
+func planShards(grid bp.SweepGrid, ncfg, n int, parentFused bool) []sweepShard {
+	sharder, _ := grid.(bp.SweepSharder)
+	var cfgs []bp.Predictor // lazily materialized for non-sharder grids
+	shards := make([]sweepShard, 0, n)
+	base, rem := ncfg/n, ncfg%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + base
+		if i < rem {
+			hi++
+		}
+		var sub bp.SweepGrid
+		if sharder != nil {
+			sub = sharder.Shard(lo, hi)
+		} else {
+			if cfgs == nil {
+				cfgs = grid.Configs()
+			}
+			sub = bp.NewPredictorGrid(fmt.Sprintf("%s[%d:%d)", grid.GridName(), lo, hi), cfgs[lo:hi])
+		}
+		_, subFused := sub.(bp.SweepKernel)
+		shards = append(shards, sweepShard{lo: lo, hi: hi, grid: sub, degraded: parentFused && !subFused})
+		lo = hi
+	}
+	return shards
+}
+
+// shardAccount reports the shard-scheduling counters:
+// sim.sweep.runs.sharded (sharded calls), sim.sweep.shards (cells
+// scheduled), and sim.sweep.shards.degraded (shards that fell off the
+// fused path their parent grid would have taken). All three depend only
+// on (grid, options), never on scheduling.
+func shardAccount(reg *obs.Registry, shards []sweepShard) {
+	reg.Counter("sim.sweep.runs.sharded").Inc()
+	reg.Counter("sim.sweep.shards").Add(int64(len(shards)))
+	deg := 0
+	for _, sh := range shards {
+		if sh.degraded {
+			deg++
+		}
+	}
+	if deg > 0 {
+		reg.Counter("sim.sweep.shards.degraded").Add(int64(deg))
+	}
+}
+
+// sweepEngine replays the whole trace through one grid, adding each
+// config's correct count into correct (len(correct) = config count).
+// It is the unit of scheduling: the sequential path calls it once with
+// the full grid, the sharded path once per shard with a sub-grid and
+// the matching slice of the output vector.
+func sweepEngine(t *trace.Trace, grid bp.SweepGrid, force bool, correct []int64) {
+	pt := t.Packed()
+	if k, ok := grid.(bp.SweepKernel); ok && !force {
+		scratch := make([]int32, len(correct))
+		k.SweepBlock(fullBlock(pt), scratch)
+		for c, v := range scratch {
+			correct[c] += int64(v)
+		}
+		return
+	}
+	var perID []int32 // shared per-branch scratch; only the totals matter
+	for c, p := range grid.Configs() {
+		if kp, ok := p.(bp.KernelPredictor); ok && !force {
+			if perID == nil {
+				perID = make([]int32, pt.NumBranches())
+			}
+			correct[c] += int64(kp.SimulateBlock(fullBlock(pt), perID))
+			continue
+		}
+		n := 0
+		for _, rec := range t.Records() {
+			ok := p.Predict(rec) == rec.Taken
+			p.Update(rec)
+			if ok {
+				n++
+			}
+		}
+		correct[c] += int64(n)
+	}
+}
+
 // SimulateSweep drives an entire config grid over the trace in one call
 // and returns the per-config correct counts in grid order. When the
 // grid implements bp.SweepKernel (and opts.ForceReference is unset) the
@@ -72,58 +198,120 @@ func sweepAccount(reg *obs.Registry, grid string, ncfg, records int, fused bool)
 // pinned bit-identical, per config, to independent Simulate runs by the
 // package's sweep differential tests.
 //
+// opts.Parallel > 1 shards the grid's configs across the runner pool
+// (see Options.Parallel); the outcome is byte-identical at every
+// setting.
+//
 // Engagement and volume report into opts.Observer (default
 // obs.Default()): sim.sweep.runs.{fused,fallback} and per-grid
 // sim.sweep.{fused,fallback}.<grid>, plus sim.sweep.configs,
-// sim.sweep.records, and sim.sweep.predictions (configs × records).
+// sim.sweep.records, and sim.sweep.predictions (configs × records);
+// sharded calls add sim.sweep.runs.sharded, sim.sweep.shards, and
+// sim.sweep.shards.degraded.
 func SimulateSweep(t *trace.Trace, grid bp.SweepGrid, opts Options) *SweepOutcome {
 	reg := obs.Or(opts.Observer)
 	defer reg.StartSpan("sim.simulate_sweep").End()
 	pt := t.Packed()
 	out := newSweepOutcome(grid, t.Name())
 	out.Total = pt.Len()
-	k, fused := grid.(bp.SweepKernel)
+	_, fused := grid.(bp.SweepKernel)
 	fused = fused && !opts.ForceReference
 	sweepAccount(reg, out.Grid, len(out.Configs), pt.Len(), fused)
-	if fused {
-		scratch := make([]int32, len(out.Configs))
-		k.SweepBlock(fullBlock(pt), scratch)
-		for c, v := range scratch {
-			out.Correct[c] = int64(v)
-		}
+	n := sweepShards(opts, len(out.Configs))
+	if n <= 1 {
+		sweepEngine(t, grid, opts.ForceReference, out.Correct)
 		return out
 	}
-	var perID []int32 // shared per-branch scratch; only the totals matter
-	for c, p := range grid.Configs() {
-		if kp, ok := p.(bp.KernelPredictor); ok && !opts.ForceReference {
-			if perID == nil {
-				perID = make([]int32, pt.NumBranches())
-			}
-			out.Correct[c] = int64(kp.SimulateBlock(fullBlock(pt), perID))
-			continue
+	shards := planShards(grid, len(out.Configs), n, fused)
+	shardAccount(reg, shards)
+	cells := make([]runner.Cell, len(shards))
+	for i, sh := range shards {
+		sh := sh
+		seg := out.Correct[sh.lo:sh.hi:sh.hi]
+		cells[i] = runner.Cell{
+			Exhibit:  "sweep-shard",
+			Workload: fmt.Sprintf("%s/%d", t.Name(), i),
+			Run: func(context.Context) error {
+				sweepEngine(t, sh.grid, opts.ForceReference, seg)
+				return nil
+			},
 		}
-		n := 0
-		for _, rec := range t.Records() {
-			correct := p.Predict(rec) == rec.Taken
-			p.Update(rec)
-			if correct {
-				n++
-			}
-		}
-		out.Correct[c] = int64(n)
+	}
+	err := runner.Run(context.Background(), cells, runner.Options{Parallel: len(cells)})
+	if err != nil {
+		// Unreachable: cells never fail and the context is never
+		// cancelled; a scheduler error here is a bug, not a condition.
+		panic("sim: SimulateSweep scheduler failed: " + err.Error())
 	}
 	return out
+}
+
+// blockSweeper advances one grid through a block stream, adding each
+// config's per-chunk correct counts into its int64 vector (so stream
+// length is unbounded). It resolves the grid's engine once — fused
+// kernel, or per-config predictors each on its own best engine — and is
+// the per-shard unit of the streaming scheduler.
+type blockSweeper struct {
+	kernel  bp.SweepKernel
+	preds   []bp.Predictor
+	kernels []bp.KernelPredictor
+	scratch []int32
+	perID   []int32
+	correct []int64
+}
+
+func newBlockSweeper(grid bp.SweepGrid, force bool, correct []int64) *blockSweeper {
+	s := &blockSweeper{correct: correct, scratch: make([]int32, len(correct))}
+	if k, ok := grid.(bp.SweepKernel); ok && !force {
+		s.kernel = k
+		return s
+	}
+	s.preds = grid.Configs()
+	s.kernels = make([]bp.KernelPredictor, len(s.preds))
+	for c, p := range s.preds {
+		if kp, ok := p.(bp.KernelPredictor); ok && !force {
+			s.kernels[c] = kp
+		}
+	}
+	return s
+}
+
+// consume replays one chunk through every config. The block and addrs
+// views are only valid for the duration of the call (sources reuse
+// their buffers).
+func (s *blockSweeper) consume(blk trace.Block, addrs []trace.Addr) {
+	kblk := bp.KernelBlock{IDs: blk.IDs, Taken: blk.Taken, Back: blk.Back, Addrs: addrs, Lo: 0, Hi: blk.Len()}
+	if s.kernel != nil {
+		for c := range s.scratch {
+			s.scratch[c] = 0
+		}
+		s.kernel.SweepBlock(kblk, s.scratch)
+		for c, v := range s.scratch {
+			s.correct[c] += int64(v)
+		}
+		return
+	}
+	s.perID = growInt32(s.perID, len(addrs))
+	for c, p := range s.preds {
+		if kp := s.kernels[c]; kp != nil {
+			s.correct[c] += int64(kp.SimulateBlock(kblk, s.perID))
+		} else {
+			s.correct[c] += int64(referenceSegment(p, blk, addrs, 0, blk.Len(), s.perID))
+		}
+	}
 }
 
 // SimulateSweepBlocks is SimulateSweep over a streaming block source:
 // the whole grid advances through one bounded-memory pass, one chunk
 // resident at a time, so figure-scale sweeps run in O(chunk) memory
 // straight from corpus.OpenBlocks streams. Fused grids replay each
-// chunk through SweepBlock (per-chunk counts accumulate in int64, so
-// stream length is unbounded); fallback grids replay each chunk through
-// every config before the next chunk loads. Results are bit-identical
-// to SimulateSweep over the equivalent in-memory trace at any chunk
-// size, pinned by the streamed sweep differential tests.
+// chunk through SweepBlock; fallback grids replay each chunk through
+// every config before the next chunk loads. With opts.Parallel > 1 the
+// grid shards as in SimulateSweep, with one extra feeder cell decoding
+// the stream once and fanning each chunk out to every shard under a
+// per-chunk barrier. Results are bit-identical to SimulateSweep over
+// the equivalent in-memory trace at any chunk size and any Parallel
+// setting, pinned by the streamed sweep differential tests.
 //
 // On top of SimulateSweep's counters the pass reports sim.sweep.blocks
 // and the peak-resident-chunk gauge sim.stream.peak_block_bytes.
@@ -132,21 +320,31 @@ func SimulateSweepBlocks(src trace.BlockSource, grid bp.SweepGrid, opts Options)
 	defer reg.StartSpan("sim.simulate_sweep_blocks").End()
 	out := newSweepOutcome(grid, src.Name())
 	ncfg := len(out.Configs)
-	k, fused := grid.(bp.SweepKernel)
+	_, fused := grid.(bp.SweepKernel)
 	fused = fused && !opts.ForceReference
-	var preds []bp.Predictor
-	var kernels []bp.KernelPredictor
-	if !fused {
-		preds = grid.Configs()
-		kernels = make([]bp.KernelPredictor, len(preds))
-		for c, p := range preds {
-			if kp, ok := p.(bp.KernelPredictor); ok && !opts.ForceReference {
-				kernels[c] = kp
-			}
-		}
+	var (
+		pos int
+		err error
+	)
+	if n := sweepShards(opts, ncfg); n <= 1 {
+		pos, err = sweepBlocksSequential(src, grid, opts.ForceReference, out.Correct, reg)
+	} else {
+		shards := planShards(grid, ncfg, n, fused)
+		shardAccount(reg, shards)
+		pos, err = sweepBlocksSharded(src, shards, opts.ForceReference, out.Correct, reg)
 	}
-	scratch := make([]int32, ncfg)
-	var perID []int32
+	if err != nil {
+		return nil, err
+	}
+	out.Total = pos
+	sweepAccount(reg, out.Grid, ncfg, pos, fused)
+	return out, nil
+}
+
+// sweepBlocksSequential is the single-worker streaming pass: one
+// blockSweeper over the whole grid consumes chunks as they decode.
+func sweepBlocksSequential(src trace.BlockSource, grid bp.SweepGrid, force bool, correct []int64, reg *obs.Registry) (int, error) {
+	sw := newBlockSweeper(grid, force, correct)
 	pos := 0
 	for {
 		blk, ok := src.Next()
@@ -156,31 +354,86 @@ func SimulateSweepBlocks(src trace.BlockSource, grid bp.SweepGrid, opts Options)
 		addrs := src.Addrs()
 		reg.Counter("sim.sweep.blocks").Inc()
 		reg.Gauge("sim.stream.peak_block_bytes").Max(int64(blk.Bytes() + len(addrs)*4))
-		kblk := bp.KernelBlock{IDs: blk.IDs, Taken: blk.Taken, Back: blk.Back, Addrs: addrs, Lo: 0, Hi: blk.Len()}
-		if fused {
-			for c := range scratch {
-				scratch[c] = 0
-			}
-			k.SweepBlock(kblk, scratch)
-			for c, v := range scratch {
-				out.Correct[c] += int64(v)
-			}
-		} else {
-			perID = growInt32(perID, len(addrs))
-			for c, p := range preds {
-				if kp := kernels[c]; kp != nil {
-					out.Correct[c] += int64(kp.SimulateBlock(kblk, perID))
-				} else {
-					out.Correct[c] += int64(referenceSegment(p, blk, addrs, 0, blk.Len(), perID))
-				}
-			}
-		}
+		sw.consume(blk, addrs)
 		pos += blk.Len()
 	}
-	if err := src.Err(); err != nil {
-		return nil, err
+	return pos, src.Err()
+}
+
+// blockFeed is one decoded chunk in flight from the feeder to a shard.
+type blockFeed struct {
+	blk   trace.Block
+	addrs []trace.Addr
+}
+
+// sweepBlocksSharded fans a block stream out to per-shard sweepers: a
+// feeder cell decodes each chunk once and hands it to every shard,
+// then waits for all of them before loading the next chunk — the
+// source reuses its buffers, so the barrier is what makes the shared
+// view sound. Every cell must hold a worker simultaneously (the feeder
+// blocks on the slowest shard each chunk), hence Parallel =
+// len(cells); the runner caps workers at the cell count, so the
+// options' budget has already been applied by the shard plan.
+func sweepBlocksSharded(src trace.BlockSource, shards []sweepShard, force bool, correct []int64, reg *obs.Registry) (int, error) {
+	sweepers := make([]*blockSweeper, len(shards))
+	chans := make([]chan blockFeed, len(shards))
+	for i, sh := range shards {
+		sweepers[i] = newBlockSweeper(sh.grid, force, correct[sh.lo:sh.hi:sh.hi])
+		chans[i] = make(chan blockFeed)
 	}
-	out.Total = pos
-	sweepAccount(reg, out.Grid, ncfg, pos, fused)
-	return out, nil
+	var (
+		pos    int
+		srcErr error
+		wg     sync.WaitGroup
+	)
+	cells := make([]runner.Cell, 0, len(shards)+1)
+	cells = append(cells, runner.Cell{
+		Exhibit:  "sweep-feed",
+		Workload: src.Name(),
+		Run: func(context.Context) error {
+			defer func() {
+				for _, ch := range chans {
+					close(ch)
+				}
+			}()
+			for {
+				blk, ok := src.Next()
+				if !ok {
+					break
+				}
+				addrs := src.Addrs()
+				reg.Counter("sim.sweep.blocks").Inc()
+				reg.Gauge("sim.stream.peak_block_bytes").Max(int64(blk.Bytes() + len(addrs)*4))
+				wg.Add(len(chans))
+				for _, ch := range chans {
+					ch <- blockFeed{blk: blk, addrs: addrs}
+				}
+				wg.Wait()
+				pos += blk.Len()
+			}
+			srcErr = src.Err()
+			return nil
+		},
+	})
+	for i := range shards {
+		ch, sw := chans[i], sweepers[i]
+		cells = append(cells, runner.Cell{
+			Exhibit:  "sweep-shard",
+			Workload: fmt.Sprintf("%s/%d", src.Name(), i),
+			Run: func(context.Context) error {
+				for f := range ch {
+					sw.consume(f.blk, f.addrs)
+					wg.Done()
+				}
+				return nil
+			},
+		})
+	}
+	err := runner.Run(context.Background(), cells, runner.Options{Parallel: len(cells)})
+	if err != nil {
+		// Unreachable: cells never fail and the context is never
+		// cancelled; a scheduler error here is a bug, not a condition.
+		panic("sim: SimulateSweepBlocks scheduler failed: " + err.Error())
+	}
+	return pos, srcErr
 }
