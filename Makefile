@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim bench-sweep fuzz
+.PHONY: check build vet test race shuffle cover lint lint-fix lint-sarif baseline bench bench-oracle bench-sim bench-sweep bench-service fuzz
 
 # check is the full gate CI runs: compile, vet, race-enabled tests, and
 # the repo's own static-analysis suite (cmd/bplint).
@@ -96,3 +96,18 @@ bench-sweep:
 	$(GO) test -run 'Sweep|PredictorGrid|Shard' ./internal/bp/ ./internal/sim/ ./internal/core/
 	$(GO) test -run '^$$' -bench 'SimSweep' \
 		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_sweep.json
+
+# bench-service refreshes the recorded service baseline: the bpsimd
+# engine room measured over live HTTP (cold compute path, warm replay
+# path, sweep/oracle/upload endpoints, and concurrent mixed load) piped
+# through cmd/benchjson into BENCH_service.json. The determinism gate
+# runs first — the service tests include the parallel-load differential,
+# and recording throughput for a server whose payloads drift under
+# concurrency would be meaningless. Cold vs warm time/op on the simulate
+# pair is the caching win; the sweep row's aggregate branches/s is
+# comparable to BENCH_sweep.json's fused rows (the gap is the service
+# envelope).
+bench-service:
+	$(GO) test -race ./internal/service/ ./internal/api/...
+	$(GO) test -run '^$$' -bench 'Service' \
+		-benchtime 3x -timeout 30m . | $(GO) run ./cmd/benchjson > BENCH_service.json

@@ -1,0 +1,215 @@
+// Service benchmarks: the bpsimd engine room measured over live HTTP.
+// Three paths matter — the cold compute path (cache miss: admission,
+// engine run, canonical encode), the warm replay path (cache hit:
+// sealed bytes back out), and concurrent mixed load (the scheduler and
+// single-flight cache under contention). `make bench-service` records
+// them into BENCH_service.json; the CI perf-smoke job runs each once
+// under the race detector.
+package branchcorr
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"branchcorr/internal/obs"
+	"branchcorr/internal/service"
+	"branchcorr/internal/workloads"
+)
+
+// benchServiceN is the workload trace length every service benchmark
+// names explicitly (the cost unit behind the branches/s metrics).
+const benchServiceN = benchLength
+
+// newBenchServer hosts a fresh service over httptest. Each benchmark
+// gets its own corpus directory and registry, so cache and corpus
+// state never leak between benchmarks.
+func newBenchServer(b *testing.B, mutate func(*service.Config)) *httptest.Server {
+	b.Helper()
+	cfg := service.Config{
+		CorpusDir:     b.TempDir(),
+		DefaultTraceN: benchServiceN,
+		Registry:      obs.New(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, ts *httptest.Server, path, body string) []byte {
+	b.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s: status %d, body %s", path, resp.StatusCode, out)
+	}
+	return out
+}
+
+func simBody(spec string) string {
+	return fmt.Sprintf(`{"trace":{"workload":"gcc","n":%d},"specs":[%q]}`, benchServiceN, spec)
+}
+
+// BenchmarkServiceSimulate measures the simulate endpoint end to end.
+// cache=cold forces every request down the compute path (a one-entry
+// cache and two alternating specs never hit); cache=warm replays one
+// sealed payload (request parse, canonicalization, cache lookup, bytes
+// out). The cold/warm time-per-op pair is the service's caching win.
+func BenchmarkServiceSimulate(b *testing.B) {
+	b.Run("cache=cold", func(b *testing.B) {
+		ts := newBenchServer(b, func(c *service.Config) { c.CacheEntries = 1 })
+		// Resolve and generate the trace outside the timer — with a spec
+		// outside the alternating pair, so every timed request misses.
+		benchPost(b, ts, "/v1/simulate", simBody("bimodal:4"))
+		specs := []string{"gshare:12", "gshare:13"}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, ts, "/v1/simulate", simBody(specs[i%2]))
+		}
+		b.ReportMetric(float64(benchServiceN)*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+	})
+	b.Run("cache=warm", func(b *testing.B) {
+		ts := newBenchServer(b, nil)
+		body := simBody("gshare:12")
+		benchPost(b, ts, "/v1/simulate", body) // prime
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchPost(b, ts, "/v1/simulate", body)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+}
+
+// BenchmarkServiceSweep measures a whole-grid sweep request on the cold
+// path: a 15-config gshare-hist grid per request, alternating two
+// equal-size grids past a one-entry cache. The metric is aggregate
+// predicted branches/s (configs × branches / wall) — directly
+// comparable to BENCH_sweep.json's in-process fused rows; the gap is
+// the service envelope.
+func BenchmarkServiceSweep(b *testing.B) {
+	grid := func(lo int) string {
+		hist := make([]byte, 0, 64)
+		for bits := lo; bits < lo+15; bits++ {
+			if len(hist) > 0 {
+				hist = append(hist, ',')
+			}
+			hist = fmt.Appendf(hist, "%d", bits)
+		}
+		return fmt.Sprintf(`{"trace":{"workload":"gcc","n":%d},"grid":{"family":"gshare-hist","hist":[%s]}}`,
+			benchServiceN, hist)
+	}
+	ts := newBenchServer(b, func(c *service.Config) { c.CacheEntries = 1 })
+	benchPost(b, ts, "/v1/simulate", simBody("bimodal:4")) // trace generation outside the timer
+	bodies := []string{grid(4), grid(5)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts, "/v1/sweep", bodies[i%2])
+	}
+	b.ReportMetric(15*float64(benchServiceN)*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+// BenchmarkServiceOracle measures an oracle selection request on the
+// cold path (profiling plus subset scoring dominate; the alternating
+// beam widths keep the work per request near-identical).
+func BenchmarkServiceOracle(b *testing.B) {
+	body := func(topK int) string {
+		return fmt.Sprintf(`{"trace":{"workload":"gcc","n":%d},"window_len":8,"top_k":%d}`, benchServiceN, topK)
+	}
+	ts := newBenchServer(b, func(c *service.Config) { c.CacheEntries = 1 })
+	benchPost(b, ts, "/v1/simulate", simBody("bimodal:4")) // trace generation outside the timer
+	bodies := []string{body(8), body(9)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts, "/v1/oracle", bodies[i%2])
+	}
+	b.ReportMetric(float64(benchServiceN)*float64(b.N)/b.Elapsed().Seconds(), "branches/s")
+}
+
+// BenchmarkServiceUpload measures trace ingestion: BTR1 body in, sniff,
+// canonical BPK1 re-encode, content address out. After the first
+// iteration the store already holds the entry, so this is the
+// idempotent-re-upload path (the common case for clients that upload
+// unconditionally).
+func BenchmarkServiceUpload(b *testing.B) {
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := w.Generate(benchServiceN).Write(&body); err != nil {
+		b.Fatal(err)
+	}
+	ts := newBenchServer(b, nil)
+	b.SetBytes(int64(body.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("upload: status %d, body %s", resp.StatusCode, out)
+		}
+	}
+}
+
+// BenchmarkServiceConcurrentLoad measures request throughput under
+// contention: parallel clients replaying a warm mixed request set
+// against an 8-worker server. Every payload comes off the cache, so
+// this isolates the concurrent envelope — mux, admission, single-
+// flight lookup, encode-out — from engine time.
+func BenchmarkServiceConcurrentLoad(b *testing.B) {
+	ts := newBenchServer(b, func(c *service.Config) { c.Workers = 8 })
+	reqs := []struct{ path, body string }{
+		{"/v1/simulate", simBody("gshare:10")},
+		{"/v1/simulate", simBody("bimodal:10")},
+		{"/v1/sweep", fmt.Sprintf(`{"trace":{"workload":"gcc","n":%d},"grid":{"family":"gshare-hist","hist":[4,6,8]}}`, benchServiceN)},
+		{"/v1/classify", fmt.Sprintf(`{"trace":{"workload":"gcc","n":%d}}`, benchServiceN)},
+	}
+	for _, rq := range reqs {
+		benchPost(b, ts, rq.path, rq.body) // prime the cache
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rq := reqs[i%len(reqs)]
+			i++
+			resp, err := http.Post(ts.URL+rq.path, "application/json", bytes.NewReader([]byte(rq.body)))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Error(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("%s: status %d", rq.path, resp.StatusCode)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -100,7 +100,7 @@ func main() {
 	if *top > len(hardest) {
 		*top = len(hardest)
 	}
-	sels := core.BuildSelective(tr, core.OracleConfig{})
+	sels := core.Oracle(tr, core.OracleOptions{OracleConfig: core.OracleConfig{}})
 	sel3 := sim.Simulate(tr, []bp.Predictor{core.NewSelective("sel3", 16, sels.BySize[3])}, sim.Options{}).Results[0]
 	fmt.Fprintf(w, "\nhardest %d branches under gshare, with oracle-selected correlations:\n", *top)
 	for _, h := range hardest[:*top] {

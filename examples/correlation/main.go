@@ -48,7 +48,7 @@ func main() {
 	// correlated branches for every static branch (window of 16 prior
 	// branches, both tagging schemes).
 	ocfg := core.OracleConfig{WindowLen: 16}
-	sels := core.BuildSelective(tr, ocfg)
+	sels := core.Oracle(tr, core.OracleOptions{OracleConfig: ocfg})
 
 	// Simulate the selective predictors the selections define.
 	rs := sim.Simulate(tr, []bp.Predictor{core.NewSelective("sel1", 16, sels.BySize[1]), core.NewSelective("sel2", 16, sels.BySize[2]), core.NewSelective("sel3", 16, sels.BySize[3])}, sim.Options{}).Results

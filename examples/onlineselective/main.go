@@ -28,7 +28,7 @@ func main() {
 		}
 		tr := w.Generate(200_000)
 
-		sels := core.BuildSelective(tr, core.OracleConfig{WindowLen: 16})
+		sels := core.Oracle(tr, core.OracleOptions{OracleConfig: core.OracleConfig{WindowLen: 16}})
 		rs := sim.Simulate(tr, []bp.Predictor{bp.NewGshare(16), core.NewOnlineSelective(3, 16, 256), core.NewSelective("oracle-sel3", 16, sels.BySize[3])}, sim.Options{}).Results
 		gshare, online, oracle := rs[0].Accuracy(), rs[1].Accuracy(), rs[2].Accuracy()
 		recovered := "-"
@@ -64,7 +64,7 @@ func main() {
 			worst, worstMiss = pc, m
 		}
 	}
-	sels := core.BuildSelective(tr, core.OracleConfig{WindowLen: 16})
+	sels := core.Oracle(tr, core.OracleOptions{OracleConfig: core.OracleConfig{WindowLen: 16}})
 	fmt.Printf("\ngcc's hardest branch 0x%x: the oracle's 3-ref selective history is", uint32(worst))
 	for _, ref := range sels.BySize[3][worst] {
 		fmt.Printf(" %s", ref)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"branchcorr/internal/bp"
+	"branchcorr/internal/obs"
 	"branchcorr/internal/sim"
 	"branchcorr/internal/trace"
 )
@@ -112,6 +113,10 @@ type ClassifyConfig struct {
 	// HighBias is the bias threshold reported for unclassified branches
 	// (default 0.99, the paper's ">99% biased").
 	HighBias float64
+	// Obs receives the classification's simulation counters and spans;
+	// nil selects obs.Default(). The service threads a per-request
+	// registry through here.
+	Obs *obs.Registry
 }
 
 func (c ClassifyConfig) withDefaults() ClassifyConfig {
@@ -135,7 +140,7 @@ func ClassifyPerAddress(t *trace.Trace, cfg ClassifyConfig) *PAClassification {
 		bp.NewLoop(),
 		bp.NewBlock(),
 		bp.NewIFPAs(cfg.IFPAsHistoryBits),
-	}, sim.Options{}).Results
+	}, sim.Options{Observer: cfg.Obs}).Results
 	sweep := bp.NewFixedKSweep()
 	for _, r := range t.Records() {
 		sweep.Observe(r)

@@ -105,8 +105,13 @@ func refLess(a, b Ref) bool {
 type Selections struct {
 	// BySize[k] assigns each branch its best k-ref selective history
 	// (k in [1, MaxSelectiveRefs]); branches with fewer than k candidates
-	// get all they have.
+	// get all they have. Filled by StageFull and StageSelect runs.
 	BySize [MaxSelectiveRefs + 1]Assignment
+
+	// Candidates is the per-branch ranked beam from pass 1. Only
+	// StageProfile runs fill it; the other stages leave it nil (a
+	// StageSelect caller already holds the beam it passed in).
+	Candidates map[trace.Addr]*Candidates
 }
 
 // subsetScore is the statically-filled-PHT correct count for one subset's
@@ -124,11 +129,10 @@ func subsetScore(flat []uint32) uint32 {
 // candidate tagged instance's state with the branch's outcome, and
 // returns each branch's TopK candidates ranked by profile score.
 //
-// The work runs on the columnar kernel over a freshly packed trace view
-// (see ProfileCandidatesPacked); callers holding a shared trace.Packed
-// should call the packed variant directly to amortize the packing pass.
+// Deprecated: ProfileCandidates is Oracle with Stage: StageProfile
+// (project .Candidates); new code should call Oracle.
 func ProfileCandidates(t *trace.Trace, cfg OracleConfig) map[trace.Addr]*Candidates {
-	return ProfileCandidatesPacked(trace.Pack(t), cfg)
+	return profilePacked(trace.Pack(t), cfg)
 }
 
 // SelectRefs performs oracle passes 2 and 3: with each branch's TopK
@@ -145,23 +149,29 @@ func ProfileCandidates(t *trace.Trace, cfg OracleConfig) map[trace.Addr]*Candida
 // The columnar kernel folds the reference implementation's two
 // tabulation streams into a single trace pass that records one packed
 // state vector per dynamic instance, then scores all pairs and triples
-// from the per-branch instance matrices (see SelectRefsPacked).
+// from the per-branch instance matrices.
+//
+// Deprecated: SelectRefs is Oracle with Stage: StageSelect and
+// Options.Candidates; new code should call Oracle.
 func SelectRefs(t *trace.Trace, cands map[trace.Addr]*Candidates, cfg OracleConfig) *Selections {
-	return SelectRefsPacked(trace.Pack(t), cands, cfg)
+	return selectPacked(trace.Pack(t), cands, cfg)
 }
 
 // BuildSelective is the full oracle pipeline: profile candidates, select
 // ref subsets, and return ready-to-run selective-history assignments for
 // sizes 1..MaxSelectiveRefs.
+//
+// Deprecated: BuildSelective is Oracle with zero OracleOptions; new
+// code should call Oracle.
 func BuildSelective(t *trace.Trace, cfg OracleConfig) *Selections {
-	return BuildSelectivePacked(trace.Pack(t), cfg)
+	return Oracle(t, OracleOptions{OracleConfig: cfg})
 }
 
 // BuildSelectivePacked is BuildSelective over a pre-built columnar trace
 // view, packing the trace exactly zero times.
+//
+// Deprecated: BuildSelectivePacked is Oracle with zero OracleOptions (a
+// *trace.Packed is a Source); new code should call Oracle.
 func BuildSelectivePacked(pt *trace.Packed, cfg OracleConfig) *Selections {
-	reg := obs.Or(cfg.Obs)
-	reg.Counter("core.oracle.builds").Inc()
-	defer reg.StartSpan("core.oracle.build").End()
-	return SelectRefsPacked(pt, ProfileCandidatesPacked(pt, cfg), cfg)
+	return Oracle(pt, OracleOptions{OracleConfig: cfg})
 }

@@ -135,9 +135,11 @@ func profilePass(src trace.BlockSource, cfg OracleConfig) (map[trace.Addr]*Candi
 }
 
 // ProfileCandidatesBlocks is oracle pass 1 over a streaming block
-// source: bit-identical to ProfileCandidatesPacked on the equivalent
-// trace, in memory bounded by the chunk size rather than the trace
+// source, in memory bounded by the chunk size rather than the trace
 // length.
+//
+// Deprecated: ProfileCandidatesBlocks is OracleBlocks with Stage:
+// StageProfile (project .Candidates); new code should call OracleBlocks.
 func ProfileCandidatesBlocks(src trace.BlockSource, cfg OracleConfig) (map[trace.Addr]*Candidates, error) {
 	cands, _, err := profilePass(src, cfg.withDefaults())
 	return cands, err
@@ -156,13 +158,22 @@ func internIndex(addrs []trace.Addr) func(trace.Addr) (int32, bool) {
 	}
 }
 
-// SelectRefsBlocks is oracle passes 2+3 over a streaming block source:
-// bit-identical to SelectRefsPacked on the equivalent trace. addrs must
-// be the complete intern table of the stream (as returned by the
+// SelectRefsBlocks is oracle passes 2+3 over a streaming block source.
+//
+// Deprecated: SelectRefsBlocks is OracleBlocks with Stage: StageSelect,
+// Options.Candidates, and Options.Addrs; new code should call
+// OracleBlocks.
+func SelectRefsBlocks(src trace.BlockSource, addrs []trace.Addr, cands map[trace.Addr]*Candidates, cfg OracleConfig) (*Selections, error) {
+	return selectBlocks(src, addrs, cands, cfg)
+}
+
+// selectBlocks is oracle passes 2+3 over a streaming block source:
+// bit-identical to the packed select pass on the equivalent trace. addrs
+// must be the complete intern table of the stream (as returned by the
 // profile pass over the same records — a BlockSource re-opened on the
 // same input yields the same first-appearance IDs), so beam matchers
 // can be built up front.
-func SelectRefsBlocks(src trace.BlockSource, addrs []trace.Addr, cands map[trace.Addr]*Candidates, cfg OracleConfig) (*Selections, error) {
+func selectBlocks(src trace.BlockSource, addrs []trace.Addr, cands map[trace.Addr]*Candidates, cfg OracleConfig) (*Selections, error) {
 	cfg = cfg.withDefaults()
 	defer obs.Or(cfg.Obs).StartSpan("core.oracle.select").End()
 
@@ -190,27 +201,10 @@ func SelectRefsBlocks(src trace.BlockSource, addrs []trace.Addr, cands map[trace
 
 // BuildSelectiveBlocks is the full oracle pipeline over a streaming
 // source: profile, then select, each pass streaming the input in
-// bounded memory. open must yield an identical record stream on every
-// call (e.g. re-open the same corpus or trace file) — the second pass
-// relies on the first pass's intern table matching the re-opened
-// stream's dense IDs.
+// bounded memory.
+//
+// Deprecated: BuildSelectiveBlocks is OracleBlocks with zero
+// OracleOptions; new code should call OracleBlocks.
 func BuildSelectiveBlocks(open func() (trace.BlockSource, error), cfg OracleConfig) (*Selections, error) {
-	cfg = cfg.withDefaults()
-	reg := obs.Or(cfg.Obs)
-	reg.Counter("core.oracle.builds").Inc()
-	defer reg.StartSpan("core.oracle.build").End()
-
-	src, err := open()
-	if err != nil {
-		return nil, err
-	}
-	cands, addrs, err := profilePass(src, cfg)
-	if err != nil {
-		return nil, err
-	}
-	src, err = open()
-	if err != nil {
-		return nil, err
-	}
-	return SelectRefsBlocks(src, addrs, cands, cfg)
+	return OracleBlocks(open, OracleOptions{OracleConfig: cfg})
 }

@@ -328,11 +328,19 @@ func (p *kernelProfile) profileScore(e *candEntry) uint32 {
 	return score + max32(p.total[0]-presentT, p.total[1]-presentN)
 }
 
-// ProfileCandidatesPacked is oracle pass 1 over the columnar trace view:
+// ProfileCandidatesPacked is oracle pass 1 over the columnar trace view.
+//
+// Deprecated: ProfileCandidatesPacked is Oracle with Stage: StageProfile
+// (project .Candidates); new code should call Oracle.
+func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]*Candidates {
+	return profilePacked(pt, cfg)
+}
+
+// profilePacked is oracle pass 1 over the columnar trace view:
 // one stream, flat per-branch candidate tables, no closures and no
 // per-candidate allocations. It produces bit-identical results to
 // ReferenceProfileCandidates.
-func ProfileCandidatesPacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]*Candidates {
+func profilePacked(pt *trace.Packed, cfg OracleConfig) map[trace.Addr]*Candidates {
 	cfg = cfg.withDefaults()
 	defer obs.Or(cfg.Obs).StartSpan("core.oracle.profile").End()
 	addrs := pt.Addrs()
@@ -518,7 +526,15 @@ type branchSelection struct {
 	size1, size2, size3 []Ref
 }
 
-// SelectRefsPacked is oracle passes 2+3 over the columnar trace view,
+// SelectRefsPacked is oracle passes 2+3 over the columnar trace view.
+//
+// Deprecated: SelectRefsPacked is Oracle with Stage: StageSelect and
+// Options.Candidates; new code should call Oracle.
+func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg OracleConfig) *Selections {
+	return selectPacked(pt, cands, cfg)
+}
+
+// selectPacked is oracle passes 2+3 over the columnar trace view,
 // folded into a single collection stream plus an off-trace scoring
 // stage. For every dynamic instance of a branch with a non-empty beam it
 // records the packed state vector of all beam candidates (2 bits each,
@@ -527,7 +543,7 @@ type branchSelection struct {
 // with bit-sliced popcount kernels and scored in parallel across the
 // internal/runner pool (cfg.ScoreParallel workers, identical output at
 // any level). Produces bit-identical Selections to ReferenceSelectRefs.
-func SelectRefsPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg OracleConfig) *Selections {
+func selectPacked(pt *trace.Packed, cands map[trace.Addr]*Candidates, cfg OracleConfig) *Selections {
 	cfg = cfg.withDefaults()
 	defer obs.Or(cfg.Obs).StartSpan("core.oracle.select").End()
 

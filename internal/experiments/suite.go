@@ -235,7 +235,7 @@ func NewSuite(cfg Config, logf func(format string, args ...any)) (*Suite, error)
 	}
 	s := &Suite{cfg: cfg, obs: obs.Or(cfg.Obs), log: logf}
 	s.oracleBuild = func(tr *trace.Trace, ocfg core.OracleConfig) *core.Selections {
-		return core.BuildSelectivePacked(s.packedFor(tr), ocfg)
+		return core.Oracle(s.packedFor(tr), core.OracleOptions{OracleConfig: ocfg})
 	}
 	s.simRun = func(tr *trace.Trace, predictors ...bp.Predictor) []*sim.Result {
 		return sim.Simulate(tr, predictors, sim.Options{Observer: cfg.Obs}).Results

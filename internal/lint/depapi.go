@@ -9,18 +9,19 @@ import (
 )
 
 // depAPIRule (dep-api) flags internal uses of Deprecated:-marked module
-// symbols — chiefly the sim.Run* convenience wrappers superseded by
-// sim.Simulate(trace, predictors, Options) — so the migration finishes
-// instead of fossilizing. For the wrapper family the rule attaches a
-// mechanical fix (applied by bplint -fix) that rewrites the call to the
-// equivalent Simulate form; other deprecated uses get a plain finding.
-// Uses inside the deprecated declarations themselves are exempt (the
-// wrappers must keep compiling until deleted).
+// symbols — the sim.Run* convenience wrappers superseded by
+// sim.Simulate(trace, predictors, Options) and the oracle entry-point
+// family superseded by core.Oracle(src, OracleOptions) — so migrations
+// finish instead of fossilizing. For both wrapper families the rule
+// attaches a mechanical fix (applied by bplint -fix) that rewrites the
+// call to the equivalent options form; other deprecated uses get a
+// plain finding. Uses inside the deprecated declarations themselves are
+// exempt (the wrappers must keep compiling until deleted).
 type depAPIRule struct{}
 
 func (depAPIRule) ID() string { return "dep-api" }
 func (depAPIRule) Doc() string {
-	return "no internal callers of Deprecated:-marked symbols (sim.Run* → sim.Simulate is auto-fixable)"
+	return "no internal callers of Deprecated:-marked symbols (sim.Run* → sim.Simulate and core oracle wrappers → core.Oracle are auto-fixable)"
 }
 
 // Check is unused; dep-api is a module rule.
@@ -147,6 +148,30 @@ var parseRenames = map[string]string{
 	"bp.ParseEnv": "Parse",
 }
 
+// oracleRewrite describes the core.Oracle-form equivalent of one
+// deprecated oracle wrapper: which Stage to select, whether the call
+// threads a candidates argument (always args[1]), and which field to
+// project from the returned Selections.
+type oracleRewrite struct {
+	stage  string // OracleOptions.Stage constant name, "" for StageFull
+	cands  bool   // args[1] is the candidates map (Options.Candidates)
+	suffix string // projection appended to the call, e.g. ".Candidates"
+}
+
+// oracleRewrites is the oracle family's mechanical-migration registry,
+// keyed by the deprecated function's package-qualified name. The Trace
+// and Packed variants share one rewrite because both argument types
+// satisfy core.Source. The *Blocks trio's (Selections, error) shapes
+// have no expression-level equivalent and are reported without a fix.
+var oracleRewrites = map[string]oracleRewrite{
+	"core.ProfileCandidates":       {stage: "StageProfile", suffix: ".Candidates"},
+	"core.ProfileCandidatesPacked": {stage: "StageProfile", suffix: ".Candidates"},
+	"core.SelectRefs":              {stage: "StageSelect", cands: true},
+	"core.SelectRefsPacked":        {stage: "StageSelect", cands: true},
+	"core.BuildSelective":          {},
+	"core.BuildSelectivePacked":    {},
+}
+
 // buildDepFix constructs the textual rewrite for one deprecated call, or
 // nil when no mechanical fix applies.
 func buildDepFix(m *Module, pkg *Package, file *ast.File, call *ast.CallExpr, fn *types.Func) *Fix {
@@ -170,6 +195,34 @@ func buildDepFix(m *Module, pkg *Package, file *ast.File, call *ast.CallExpr, fn
 		lo := pkg.Fset.Position(id.Pos()).Offset
 		hi := pkg.Fset.Position(id.End()).Offset
 		return &Fix{File: pos.Filename, Edits: []Edit{{Off: lo, End: hi, New: newName}}}
+	}
+
+	if orw, ok := oracleRewrites[key]; ok {
+		// Qualifier as written at the call site ("core." or "" in-package).
+		qual := ""
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			qual = text(sel.X) + "."
+		}
+		args := call.Args
+		want := 2 // (src, cfg)
+		if orw.cands {
+			want = 3 // (src, cands, cfg)
+		}
+		if len(args) != want {
+			return nil
+		}
+		fields := "OracleConfig: " + text(args[len(args)-1])
+		if orw.stage != "" {
+			fields += ", Stage: " + qual + orw.stage
+		}
+		if orw.cands {
+			fields += ", Candidates: " + text(args[1])
+		}
+		repl := fmt.Sprintf("%sOracle(%s, %sOracleOptions{%s})%s",
+			qual, text(args[0]), qual, fields, orw.suffix)
+		lo := pkg.Fset.Position(call.Pos()).Offset
+		hi := pkg.Fset.Position(call.End()).Offset
+		return &Fix{File: pos.Filename, Edits: []Edit{{Off: lo, End: hi, New: repl}}}
 	}
 
 	rw, ok := depRewrites[key]

@@ -52,39 +52,60 @@ func runRules(t *testing.T, root, ruleIDs string) []Finding {
 }
 
 // TestDepAPIFix applies the dep-api migration fixes to a fixture copy:
-// every wrapper call is rewritten to the Simulate form (pinned by a
-// golden file), only the two mechanically unfixable uses survive, and a
-// second -fix pass is a no-op (idempotency).
+// every wrapper call — the sim.Run* family and the oracle entry-point
+// family — is rewritten to its options form (pinned by golden files),
+// only the two mechanically unfixable uses survive, and a second -fix
+// pass is a no-op (idempotency).
 func TestDepAPIFix(t *testing.T) {
 	root := copyFixtureTree(t)
 	findings := runRules(t, root, "dep-api")
-	if len(findings) != 8 {
-		t.Fatalf("pre-fix dep-api findings = %d, want 8: %v", len(findings), findings)
+	if len(findings) != 11 {
+		t.Fatalf("pre-fix dep-api findings = %d, want 11: %v", len(findings), findings)
 	}
 	changed, err := ApplyFixes(findings)
 	if err != nil {
 		t.Fatalf("ApplyFixes: %v", err)
 	}
-	if len(changed) != 1 || !strings.HasSuffix(changed[0], filepath.Join("depfix", "use", "use.go")) {
-		t.Fatalf("changed files = %v, want exactly depfix/use/use.go", changed)
+	wantChanged := []string{
+		filepath.Join("depfix", "use", "use.go"),
+		filepath.Join("oraclefix", "use", "use.go"),
 	}
-
-	fixed, err := os.ReadFile(filepath.Join(root, "internal", "depfix", "use", "use.go"))
-	if err != nil {
-		t.Fatal(err)
+	if len(changed) != len(wantChanged) {
+		t.Fatalf("changed files = %v, want %v", changed, wantChanged)
 	}
-	goldenPath := filepath.Join("testdata", "depfix_use_fixed.golden")
-	if *updateGolden {
-		if err := os.WriteFile(goldenPath, fixed, 0o644); err != nil {
-			t.Fatal(err)
+	for _, want := range wantChanged {
+		found := false
+		for _, got := range changed {
+			if strings.HasSuffix(got, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("changed files = %v, missing %s", changed, want)
 		}
 	}
-	golden, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("read golden (regenerate by hand from test failure output): %v", err)
-	}
-	if !bytes.Equal(fixed, golden) {
-		t.Errorf("fixed use.go deviates from golden:\n--- got ---\n%s\n--- want ---\n%s", fixed, golden)
+
+	for fixture, goldenName := range map[string]string{
+		"depfix":    "depfix_use_fixed.golden",
+		"oraclefix": "oraclefix_use_fixed.golden",
+	} {
+		fixed, err := os.ReadFile(filepath.Join(root, "internal", fixture, "use", "use.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenPath := filepath.Join("testdata", goldenName)
+		if *updateGolden {
+			if err := os.WriteFile(goldenPath, fixed, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		golden, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("read golden (regenerate with -update): %v", err)
+		}
+		if !bytes.Equal(fixed, golden) {
+			t.Errorf("fixed %s/use.go deviates from golden:\n--- got ---\n%s\n--- want ---\n%s", fixture, fixed, golden)
+		}
 	}
 
 	// The rewritten tree must still type-check, and only the

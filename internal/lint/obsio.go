@@ -6,23 +6,25 @@ import (
 	"strings"
 )
 
-// obsIORule quarantines debug-endpoint machinery in internal/obs. expvar
+// obsIORule quarantines HTTP machinery in the transport packages. expvar
 // and net/http/pprof register handlers on process-global state as an
 // import side effect, and net/http drags a whole server into any binary
 // that links it; if those imports leak into simulator packages, library
 // code grows hidden global state and the measurement core stops being
 // embeddable. Library packages record into an obs.Registry; internal/obs
-// owns the one bridge to expvar/HTTP, and cmd/ decides whether to serve
-// it.
+// owns the debug bridge to expvar/HTTP, internal/service is the API
+// server those registries feed, and cmd/ decides what to serve.
 type obsIORule struct{}
 
 func (obsIORule) ID() string { return "obs-io" }
 func (obsIORule) Doc() string {
-	return "forbid expvar/net/http/pprof imports outside internal/obs (debug transport lives in obs; cmd/ serves it)"
+	return "forbid expvar/net/http/pprof imports outside internal/obs and internal/service (transport packages; cmd/ serves them)"
 }
 
 func (r obsIORule) Check(pkg *Package) []Finding {
-	if !pkg.hasSegment("internal") || strings.HasSuffix(pkg.Path, "internal/obs") {
+	if !pkg.hasSegment("internal") ||
+		strings.HasSuffix(pkg.Path, "internal/obs") ||
+		strings.HasSuffix(pkg.Path, "internal/service") {
 		return nil
 	}
 	var out []Finding

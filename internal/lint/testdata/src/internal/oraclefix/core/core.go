@@ -1,0 +1,74 @@
+// Package core mirrors the real oracle package's consolidated Oracle
+// entry point and its deprecated wrapper family; the wrappers' bodies
+// are exempt from dep-api (deprecated code may reference itself) while
+// every outside caller is flagged and mechanically rewritten by -fix.
+package core
+
+// Trace is a stand-in branch trace (the real Source interface accepts
+// both *trace.Trace and *trace.Packed; the rewrite is type-agnostic).
+type Trace struct{ Name string }
+
+// Addr is a stand-in static branch address.
+type Addr uint32
+
+// Candidates is one branch's ranked candidate beam.
+type Candidates struct{ Total int }
+
+// Selections holds the oracle's chosen ref sets per history size.
+type Selections struct {
+	BySize     [4]map[Addr][]int
+	Candidates map[Addr]*Candidates
+}
+
+// OracleConfig carries the algorithmic knobs.
+type OracleConfig struct {
+	WindowLen int
+	TopK      int
+}
+
+// OracleStage selects how much of the pipeline runs.
+type OracleStage int
+
+// The pipeline stages.
+const (
+	StageFull OracleStage = iota
+	StageProfile
+	StageSelect
+)
+
+// OracleOptions configures one Oracle run.
+type OracleOptions struct {
+	OracleConfig
+	Stage      OracleStage
+	Candidates map[Addr]*Candidates
+}
+
+// Oracle is the consolidated entry point.
+func Oracle(t *Trace, opts OracleOptions) *Selections {
+	s := &Selections{}
+	if opts.Stage != StageSelect {
+		s.Candidates = map[Addr]*Candidates{}
+	}
+	return s
+}
+
+// ProfileCandidates is the legacy pass-1 entry point.
+//
+// Deprecated: ProfileCandidates is Oracle with Stage: StageProfile.
+func ProfileCandidates(t *Trace, cfg OracleConfig) map[Addr]*Candidates {
+	return Oracle(t, OracleOptions{OracleConfig: cfg, Stage: StageProfile}).Candidates
+}
+
+// SelectRefs is the legacy passes-2+3 entry point.
+//
+// Deprecated: SelectRefs is Oracle with Stage: StageSelect.
+func SelectRefs(t *Trace, cands map[Addr]*Candidates, cfg OracleConfig) *Selections {
+	return Oracle(t, OracleOptions{OracleConfig: cfg, Stage: StageSelect, Candidates: cands})
+}
+
+// BuildSelective is the legacy full-pipeline entry point.
+//
+// Deprecated: BuildSelective is Oracle with zero OracleOptions.
+func BuildSelective(t *Trace, cfg OracleConfig) *Selections {
+	return Oracle(t, OracleOptions{OracleConfig: cfg})
+}

@@ -1,0 +1,15 @@
+// Package use calls the deprecated oracle wrapper family; every call
+// line must be flagged by dep-api, and -fix must rewrite each call to
+// the options-based core.Oracle form.
+package use
+
+import "testmod/internal/oraclefix/core"
+
+// Demo exercises every mechanically fixable oracle entry point.
+func Demo(t *core.Trace) int {
+	cands := core.ProfileCandidates(t, core.OracleConfig{WindowLen: 16}) // want dep-api
+	sels := core.SelectRefs(t, cands, core.OracleConfig{WindowLen: 16})  // want dep-api
+	full := core.BuildSelective(t, core.OracleConfig{})                  // want dep-api
+	direct := core.Oracle(t, core.OracleOptions{Stage: core.StageProfile})
+	return len(cands) + len(sels.BySize[1]) + len(full.BySize[1]) + len(direct.Candidates)
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the repo's only library gateway to the process-global
@@ -16,15 +17,23 @@ import (
 
 // publishOnce guards expvar registration: expvar.Publish panics on a
 // duplicate name, and commands may wire the same registry into both
-// -metrics and -debug-addr.
-var publishOnce sync.Once
+// -metrics and -debug-addr. The variable itself indirects through
+// published so re-publishing switches registries instead of being
+// silently ignored.
+var (
+	publishOnce sync.Once
+	published   atomic.Pointer[Registry]
+)
 
 // PublishExpvar exposes the registry's snapshot as the expvar variable
-// "obs" (shown under /debug/vars). Idempotent; only the first registry
-// published wins, which in practice is always the Default registry.
+// "obs" (shown under /debug/vars). Idempotent — the expvar name is
+// registered once per process — and the variable always renders the
+// most recently published registry, which in practice is the process
+// registry of whichever command is running.
 func PublishExpvar(r *Registry) {
+	published.Store(r)
 	publishOnce.Do(func() {
-		expvar.Publish("obs", expvar.Func(func() any { return r.Snapshot() }))
+		expvar.Publish("obs", expvar.Func(func() any { return published.Load().Snapshot() }))
 	})
 }
 

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMergeFoldsSnapshot pins Merge's per-kind semantics: counters add,
+// gauges keep the max, histogram counts/sums/buckets add.
+func TestMergeFoldsSnapshot(t *testing.T) {
+	src := New()
+	src.Counter("reqs").Add(3)
+	src.Gauge("queue").Set(7)
+	src.Histogram("lat").Observe(0)
+	src.Histogram("lat").Observe(5)
+
+	dst := New()
+	dst.Counter("reqs").Add(2)
+	dst.Gauge("queue").Set(9)
+	dst.Histogram("lat").Observe(5)
+
+	dst.Merge(src.Snapshot())
+
+	if got := dst.Counter("reqs").Value(); got != 5 {
+		t.Errorf("merged counter = %d, want 5", got)
+	}
+	if got := dst.Gauge("queue").Value(); got != 9 {
+		t.Errorf("merged gauge = %d, want max(9,7)=9", got)
+	}
+	h := dst.Histogram("lat")
+	if h.Count() != 3 || h.Sum() != 10 {
+		t.Errorf("merged histogram count/sum = %d/%d, want 3/10", h.Count(), h.Sum())
+	}
+	// Bucket reconstruction: the value 5 lands in bucket lo=4, and both
+	// observations of it must pile onto the same bucket after the merge.
+	var lo4 int64
+	for _, b := range dst.Snapshot().Histograms["lat"].Buckets {
+		if b.Lo == 4 {
+			lo4 = b.N
+		}
+	}
+	if lo4 != 2 {
+		t.Errorf("bucket lo=4 count = %d after merge, want 2", lo4)
+	}
+	// A gauge below the target's is not lowered.
+	low := New()
+	low.Gauge("queue").Set(1)
+	dst.Merge(low.Snapshot())
+	if got := dst.Gauge("queue").Value(); got != 9 {
+		t.Errorf("gauge lowered to %d by merge, want 9", got)
+	}
+}
+
+// TestMergeLossless pins the service's aggregation contract: merging the
+// snapshots of N disjoint registries into an empty one yields byte-equal
+// snapshots to observing everything directly.
+func TestMergeLossless(t *testing.T) {
+	direct := New()
+	merged := New()
+	for part := 0; part < 4; part++ {
+		r := New()
+		for i := 0; i < 10; i++ {
+			v := int64(part*10 + i)
+			r.Counter("c").Add(v)
+			direct.Counter("c").Add(v)
+			r.Gauge("g").Max(v)
+			direct.Gauge("g").Max(v)
+			r.Histogram("h").Observe(v)
+			direct.Histogram("h").Observe(v)
+		}
+		merged.Merge(r.Snapshot())
+	}
+	got, err := merged.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("merged snapshot deviates from direct observation:\n--- merged ---\n%s\n--- direct ---\n%s", got, want)
+	}
+}
+
+// TestMergeEmptySnapshot verifies a zero snapshot is a no-op merge.
+func TestMergeEmptySnapshot(t *testing.T) {
+	dst := New()
+	dst.Counter("c").Inc()
+	dst.Merge(Snapshot{})
+	if got := dst.Counter("c").Value(); got != 1 {
+		t.Errorf("counter = %d after empty merge, want 1", got)
+	}
+}

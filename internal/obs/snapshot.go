@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math/bits"
 	"os"
 )
 
@@ -61,6 +62,32 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return s
+}
+
+// Merge folds a snapshot into the registry: counters add, gauges raise
+// (a merged high-water mark must never lower the registry's own),
+// histogram counts/sums/buckets add. The bucket layout is static, so
+// bucket lows map back to indexes exactly and merging is lossless:
+// merging the snapshots of N disjoint registries yields the same state
+// as if every observation had gone to the target directly. The service
+// uses this to fold each request's private registry into the process
+// registry once the response is built. Aggregation per metric is
+// commutative, so the map iteration order is immaterial.
+func (r *Registry) Merge(s Snapshot) {
+	for name, v := range s.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Max(v)
+	}
+	for name, hs := range s.Histograms {
+		h := r.Histogram(name)
+		h.count.Add(hs.Count)
+		h.sum.Add(hs.Sum)
+		for _, b := range hs.Buckets {
+			h.buckets[bits.Len64(uint64(b.Lo))].Add(b.N)
+		}
+	}
 }
 
 // WithoutHistograms returns a copy of the snapshot with every histogram

@@ -123,6 +123,11 @@ func AssemblePacked(name string, addrs []Addr, ids []int32, taken, back []uint64
 // Name returns the source trace's name.
 func (p *Packed) Name() string { return p.name }
 
+// Packed returns the view itself, so a bare columnar view satisfies
+// interfaces keyed on a Packed() accessor (core.Source) interchangeably
+// with *Trace, whose Packed method memoizes this view.
+func (p *Packed) Packed() *Packed { return p }
+
 // Len returns the number of dynamic records.
 func (p *Packed) Len() int { return len(p.ids) }
 
