@@ -24,10 +24,15 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"branchcorr/internal/obs"
 	"branchcorr/internal/service"
 )
+
+// shutdownGrace bounds how long a SIGTERM waits for in-flight requests
+// before open connections are closed hard.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	var (
@@ -95,8 +100,13 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		fmt.Fprintln(os.Stderr, "bpsimd: shutting down")
-		if err := hs.Shutdown(context.Background()); err != nil {
-			fatal(err)
+		// Bound the drain: a stuck client must not keep the process
+		// alive until the supervisor escalates to SIGKILL.
+		sd, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(sd); err != nil {
+			fmt.Fprintln(os.Stderr, "bpsimd: graceful shutdown:", err)
+			_ = hs.Close()
 		}
 	}
 

@@ -96,19 +96,28 @@ func TestDecodeStrictRejectsTrailingData(t *testing.T) {
 	}
 }
 
-// TestTraceRefValidate covers the ref's mutual-exclusion rules.
+// TestTraceRefValidate covers the ref's mutual-exclusion rules and the
+// content-address key format: keys become corpus file names, so only
+// the exact sha256 hex form may pass.
 func TestTraceRefValidate(t *testing.T) {
+	hexKey := strings.Repeat("0123456789abcdef", 4) // 64 lowercase hex
 	cases := []struct {
 		ref TraceRef
 		ok  bool
 	}{
-		{TraceRef{Key: "abc"}, true},
+		{TraceRef{Key: hexKey}, true},
 		{TraceRef{Workload: "gcc-like"}, true},
 		{TraceRef{Workload: "gcc-like", N: 500}, true},
 		{TraceRef{}, false},
-		{TraceRef{Key: "abc", Workload: "gcc-like"}, false},
-		{TraceRef{Key: "abc", N: 5}, false},
+		{TraceRef{Key: hexKey, Workload: "gcc-like"}, false},
+		{TraceRef{Key: hexKey, N: 5}, false},
 		{TraceRef{Workload: "gcc-like", N: -1}, false},
+		{TraceRef{Key: "abc"}, false},                          // too short
+		{TraceRef{Key: hexKey + "00"}, false},                  // too long
+		{TraceRef{Key: strings.ToUpper(hexKey)}, false},        // not lowercase
+		{TraceRef{Key: hexKey[:62] + "zz"}, false},             // not hex
+		{TraceRef{Key: "../../../../../../etc/passwd"}, false}, // traversal
+		{TraceRef{Key: "../" + hexKey[:61]}, false},            // traversal, right length
 	}
 	for _, c := range cases {
 		if err := c.ref.Validate(); (err == nil) != c.ok {

@@ -76,25 +76,28 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers == 0 {
+	// Negative values clamp to the defaults too: a negative Workers
+	// would panic in make(chan), and a negative cache capacity would
+	// drive the eviction loop off the end of its order slice.
+	if c.Workers <= 0 {
 		c.Workers = 4
 	}
-	if c.SimParallel == 0 {
+	if c.SimParallel <= 0 {
 		c.SimParallel = 1
 	}
-	if c.CacheEntries == 0 {
+	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
-	if c.TraceEntries == 0 {
+	if c.TraceEntries <= 0 {
 		c.TraceEntries = 8
 	}
-	if c.DefaultTraceN == 0 {
+	if c.DefaultTraceN <= 0 {
 		c.DefaultTraceN = workloads.DefaultLength
 	}
-	if c.MaxTraceN == 0 {
+	if c.MaxTraceN <= 0 {
 		c.MaxTraceN = 8_000_000
 	}
-	if c.MaxUploadBytes == 0 {
+	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 64 << 20
 	}
 	return c
@@ -158,12 +161,23 @@ func notFound(err error) error    { return &reqError{code: "not-found", err: err
 func tooLarge(err error) error    { return &reqError{code: "too-large", err: err} }
 func internalErr(err error) error { return &reqError{code: "internal", err: err} }
 
+// canceledErr classifies a client that gave up (context canceled or
+// deadline exceeded) as its own wire code, so aborted requests don't
+// inflate the internal-error counter or read as server faults.
+func canceledErr(err error) error { return &reqError{code: "canceled", err: err} }
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before the response"; there is no standard-library constant.
+const statusClientClosedRequest = 499
+
 func httpStatus(code string) int {
 	switch code {
 	case "not-found":
 		return http.StatusNotFound
 	case "too-large":
 		return http.StatusRequestEntityTooLarge
+	case "canceled":
+		return statusClientClosedRequest
 	case "internal":
 		return http.StatusInternalServerError
 	default:
@@ -207,7 +221,7 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	case s.sem <- struct{}{}:
 		return func() { <-s.sem }, nil
 	case <-ctx.Done():
-		return nil, internalErr(ctx.Err())
+		return nil, canceledErr(ctx.Err())
 	}
 }
 
@@ -219,6 +233,11 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // sealed — a cache hit replays bytes and merges nothing.
 func (s *Server) compute(ctx context.Context, endpoint string, rt resolvedTrace, key string,
 	build func(reg *obs.Registry) (any, error)) ([]byte, error) {
+	// The flight is shared by every request coalesced on this key, so it
+	// must outlive any one of them: detached from the first caller's
+	// cancellation, a client that disconnects while its flight is queued
+	// or mid-compute doesn't poison the waiters with its abort.
+	ctx = context.WithoutCancel(ctx)
 	return s.cache.do(key, func() ([]byte, error) {
 		release, err := s.admit(ctx)
 		if err != nil {

@@ -2,7 +2,10 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -369,7 +372,9 @@ func TestErrorMapping(t *testing.T) {
 		{"unknown workload", "/v1/simulate", `{"trace":{"workload":"nope"},"specs":["gshare:8"]}`, 400, "bad-request"},
 		{"unknown predictor", "/v1/simulate", `{"trace":{"workload":"gcc"},"specs":["wizard:8"]}`, 400, "unknown-name"},
 		{"bad param", "/v1/simulate", `{"trace":{"workload":"gcc"},"specs":["gshare:zap"]}`, 400, "bad-param"},
-		{"missing trace", "/v1/simulate", `{"trace":{"key":"feedfeed"},"specs":["gshare:8"]}`, 404, "not-found"},
+		{"missing trace", "/v1/simulate", `{"trace":{"key":"` + strings.Repeat("feed", 16) + `"},"specs":["gshare:8"]}`, 404, "not-found"},
+		{"malformed key", "/v1/simulate", `{"trace":{"key":"feedfeed"},"specs":["gshare:8"]}`, 400, "bad-request"},
+		{"traversal key", "/v1/simulate", `{"trace":{"key":"../../../../etc/passwd"},"specs":["gshare:8"]}`, 400, "bad-request"},
 		{"oversized trace", "/v1/simulate", `{"trace":{"workload":"gcc","n":999999999},"specs":["gshare:8"]}`, 413, "too-large"},
 		{"unknown grid family", "/v1/sweep", `{"trace":{"workload":"gcc"},"grid":{"family":"nope"}}`, 400, "bad-request"},
 		{"empty grid axis", "/v1/sweep", `{"trace":{"workload":"gcc"},"grid":{"family":"gshare-hist"}}`, 400, "bad-request"},
@@ -394,6 +399,68 @@ func TestErrorMapping(t *testing.T) {
 				t.Errorf("got %d/%q (%s), want %d/%q", resp.StatusCode, er.Error.Code, er.Error.Message, c.status, c.code)
 			}
 		})
+	}
+}
+
+// TestComputeDetachedFromCaller pins the single-flight context fix: a
+// flight started by an already-canceled request still completes, so
+// waiters coalesced on the key never inherit the first caller's abort.
+func TestComputeDetachedFromCaller(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	rt, err := s.resolve(v1.TraceRef{Workload: "gcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone when the flight starts
+	b, err := s.compute(ctx, "simulate", rt, "test|detached", func(reg *obs.Registry) (any, error) {
+		return map[string]string{"ok": "yes"}, nil
+	})
+	if err != nil {
+		t.Fatalf("canceled caller poisoned the flight: %v", err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty payload")
+	}
+}
+
+// TestAdmitCanceledCode checks a client abort while queued maps to the
+// canceled wire code, not internal.
+func TestAdmitCanceledCode(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.Workers = 1 })
+	s.sem <- struct{}{} // occupy the only slot
+	defer func() { <-s.sem }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.admit(ctx)
+	var re *reqError
+	if !errors.As(err, &re) || re.code != "canceled" {
+		t.Fatalf("admit under canceled ctx = %v, want canceled code", err)
+	}
+	if httpStatus("canceled") != statusClientClosedRequest {
+		t.Errorf("canceled maps to %d, want %d", httpStatus("canceled"), statusClientClosedRequest)
+	}
+}
+
+// TestNegativeConfigClamped pins withDefaults clamping: negative
+// budgets and capacities select the defaults instead of panicking in
+// make(chan) or the cache eviction loop.
+func TestNegativeConfigClamped(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Workers = -1
+		c.SimParallel = -2
+		c.CacheEntries = -3
+		c.TraceEntries = -4
+		c.MaxUploadBytes = -5
+	})
+	for i := 0; i < 3; i++ { // exercise cache puts past any tiny cap
+		status, b := post(t, ts, "/v1/simulate", v1.SimulateRequest{
+			Trace: v1.TraceRef{Workload: "gcc"},
+			Specs: []string{fmt.Sprintf("gshare:%d", 6+i)},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("status %d, body %s", status, b)
+		}
 	}
 }
 
